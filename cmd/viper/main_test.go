@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"viper/internal/anomaly"
+	"viper/internal/histio"
+	"viper/internal/history"
+)
+
+func writeSample(t *testing.T, mutate func(h *history.History)) string {
+	t.Helper()
+	b := history.NewBuilder()
+	s := b.Session()
+	w := s.Txn().Write("x").Commit()
+	s.Txn().ReadObserved("x", w.WriteIDOf("x")).Commit()
+	h := b.RawHistory()
+	if mutate != nil {
+		mutate(h)
+	}
+	path := filepath.Join(t.TempDir(), "h.jsonl")
+	if err := histio.WriteFile(path, h); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAccept(t *testing.T) {
+	path := writeSample(t, nil)
+	var out, errb bytes.Buffer
+	code := run([]string{"-v", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"verdict: accept", "polygraph:", "solver:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunRejectWithCycleAndDot(t *testing.T) {
+	path := writeSample(t, func(h *history.History) {
+		anomaly.Inject(h, anomaly.ReadSkew)
+	})
+	dot := filepath.Join(t.TempDir(), "g.dot")
+	var out, errb bytes.Buffer
+	code := run([]string{"-dot", dot, path}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, out: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "counterexample cycle") {
+		t.Fatalf("no counterexample:\n%s", out.String())
+	}
+	if _, err := histio.ReadFile(dot); err == nil {
+		t.Fatal("dot file parsed as history?!")
+	}
+}
+
+func TestRunValidationReject(t *testing.T) {
+	path := writeSample(t, func(h *history.History) {
+		anomaly.Inject(h, anomaly.AbortedRead)
+	})
+	var out, errb bytes.Buffer
+	code := run([]string{path}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d (out %q, err %q)", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "reject (validation)") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestRunLevels(t *testing.T) {
+	path := writeSample(t, nil)
+	for _, level := range []string{"adya-si", "gsi", "strong-session-si", "strong-si", "serializability", "ser", "si", "sssi"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-level", level, path}, &out, &errb); code != 0 {
+			t.Fatalf("level %s: exit %d", level, code)
+		}
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-level", "bogus", path}, &out, &errb); code != 3 {
+		t.Fatal("bogus level accepted")
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 3 {
+		t.Fatalf("no-args exit %d", code)
+	}
+	if code := run([]string{"/nonexistent/file"}, &out, &errb); code != 3 {
+		t.Fatalf("missing-file exit %d", code)
+	}
+}

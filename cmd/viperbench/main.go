@@ -1,0 +1,89 @@
+// Command viperbench regenerates the paper's evaluation figures
+// (Figures 8–15 of §7): it generates histories at the requested sizes,
+// runs viper and the baselines, and prints one table per experiment.
+//
+// Usage:
+//
+//	viperbench -exp fig8                 # one experiment
+//	viperbench -exp all -timeout 30s     # everything, 30s per check
+//	viperbench -exp fig8 -sizes 100,200,400,1000 -clients 24
+//
+// Paper-scale runs (e.g. -sizes up to 10000 with -timeout 600s) take
+// hours, exactly as the artifact's compute estimates say; the defaults are
+// laptop-scale and preserve the figures' shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"viper/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injected arguments and streams, for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("viperbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp     = fs.String("exp", "all", "experiment: fig8 … fig15, or all")
+		sizes   = fs.String("sizes", "", "comma-separated history sizes overriding the experiment defaults")
+		clients = fs.Int("clients", 24, "client concurrency for history generation")
+		timeout = fs.Duration("timeout", 10*time.Second, "per-check time budget")
+		seed    = fs.Int64("seed", 1, "history generation seed")
+		trials  = fs.Int("trials", 3, "trials for experiments the paper repeats (fig13)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 3
+	}
+
+	cfg := experiments.Config{
+		Clients: *clients,
+		Timeout: *timeout,
+		Seed:    *seed,
+		Trials:  *trials,
+	}
+	if *sizes != "" {
+		for _, part := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(stderr, "viperbench: bad size %q\n", part)
+				return 3
+			}
+			cfg.Sizes = append(cfg.Sizes, n)
+		}
+	}
+
+	all := experiments.All()
+	var names []string
+	if *exp == "all" {
+		names = experiments.Order()
+	} else {
+		if all[*exp] == nil {
+			fmt.Fprintf(stderr, "viperbench: unknown experiment %q (have %s, all)\n",
+				*exp, strings.Join(experiments.Order(), ", "))
+			return 3
+		}
+		names = []string{*exp}
+	}
+
+	for _, name := range names {
+		start := time.Now()
+		table, err := all[name](cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "viperbench: %s: %v\n", name, err)
+			return 1
+		}
+		table.Fprint(stdout)
+		fmt.Fprintf(stdout, "(%s completed in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+	return 0
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-exp", "fig15", "-sizes", "40", "-clients", "4", "-timeout", "30s"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"== fig15", "long-fork", "completed in"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "fig99"}, &out, &errb); code != 3 {
+		t.Fatal("unknown experiment accepted")
+	}
+	if code := run([]string{"-sizes", "nope"}, &out, &errb); code != 3 {
+		t.Fatal("bad sizes accepted")
+	}
+	if code := run([]string{"-sizes", "-5"}, &out, &errb); code != 3 {
+		t.Fatal("negative size accepted")
+	}
+}

@@ -1,0 +1,179 @@
+// Command vipergen generates histories: it runs a benchmark workload with
+// concurrent clients against the bundled snapshot-isolation engine through
+// history collectors and writes the recorded history as a JSON-lines log
+// that cmd/viper can check. Engine faults and anomaly injection produce
+// non-SI histories for testing checkers.
+//
+// Usage:
+//
+//	vipergen -bench blindw-rw -txns 5000 -clients 24 -o history.jsonl
+//	vipergen -bench append -txns 1000 -fault lostupdate -o bad.jsonl
+//	vipergen -bench blindw-rw -txns 2000 -anomaly long-fork -o fork.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"viper/internal/anomaly"
+	"viper/internal/collector"
+	"viper/internal/histio"
+	"viper/internal/history"
+	"viper/internal/jepsen"
+	"viper/internal/mvcc"
+	"viper/internal/runner"
+	"viper/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injected arguments and streams, for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vipergen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		bench    = fs.String("bench", "blindw-rw", "workload: blindw-rw | blindw-rm | range-b | range-rqh | range-idh | tpcc | rubis | twitter | append")
+		txns     = fs.Int("txns", 1000, "transactions to issue")
+		clients  = fs.Int("clients", 24, "concurrent clients")
+		seed     = fs.Int64("seed", 1, "workload seed")
+		out      = fs.String("o", "history.jsonl", "output path")
+		sessions = fs.Bool("session-logs", false, "write one log per session into the -o directory (the paper's collector layout) instead of a single file")
+		ednOut   = fs.Bool("edn", false, "write a Jepsen EDN rw-register log instead of JSON-lines (incompatible with range workloads)")
+		fault    = fs.String("fault", "none", "engine fault: none | fractured | lostupdate | visibleaborts")
+		lag      = fs.Int("lag", 0, "max snapshot lag in commits (still SI; breaks strong variants)")
+		drift    = fs.Duration("drift", 0, "max client clock drift to simulate")
+		anomName = fs.String("anomaly", "none", "inject after the run: none | g1c | long-fork | gsib | lost-update | aborted-read | future-read | read-skew")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 3
+	}
+
+	gen, ok := pickBench(*bench)
+	if !ok {
+		fmt.Fprintf(stderr, "vipergen: unknown benchmark %q\n", *bench)
+		return 3
+	}
+	faultMode, ok := pickFault(*fault)
+	if !ok {
+		fmt.Fprintf(stderr, "vipergen: unknown fault %q\n", *fault)
+		return 3
+	}
+
+	cfg := runner.Config{
+		Clients:   *clients,
+		Txns:      *txns,
+		Seed:      *seed,
+		DB:        mvcc.Config{Fault: faultMode, SnapshotLagMax: *lag, Seed: *seed},
+		Collector: collector.Config{MaxClockDrift: *drift, Seed: *seed},
+	}
+
+	start := time.Now()
+	h := runner.RunUnchecked(gen, cfg)
+
+	if *anomName != "none" {
+		kind, ok := pickAnomaly(*anomName)
+		if !ok {
+			fmt.Fprintf(stderr, "vipergen: unknown anomaly %q\n", *anomName)
+			return 3
+		}
+		anomaly.Inject(h, kind)
+	}
+
+	var werr error
+	switch {
+	case *sessions:
+		werr = histio.WriteSessionDir(*out, h)
+	case *ednOut:
+		werr = writeEDN(*out, h)
+	default:
+		werr = histio.WriteFile(*out, h)
+	}
+	if werr != nil {
+		fmt.Fprintf(stderr, "vipergen: %v\n", werr)
+		return 3
+	}
+	st := h.ComputeStats()
+	fmt.Fprintf(stdout, "%s: %d committed + %d aborted txns, %d sessions, %d keys (%.2fs) -> %s\n",
+		gen.Name(), st.Txns, st.Aborted, st.Sessions, st.Keys,
+		time.Since(start).Seconds(), *out)
+	return 0
+}
+
+// writeEDN exports the history as a Jepsen rw-register log.
+func writeEDN(path string, h *history.History) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := jepsen.Export(f, h); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func pickBench(name string) (workload.Generator, bool) {
+	switch name {
+	case "blindw-rw":
+		return workload.NewBlindWRW(), true
+	case "blindw-rm":
+		return workload.NewBlindWRM(), true
+	case "range-b":
+		return workload.NewRangeB(), true
+	case "range-rqh":
+		return workload.NewRangeRQH(), true
+	case "range-idh":
+		return workload.NewRangeIDH(), true
+	case "tpcc":
+		return workload.NewTPCC(3000), true
+	case "rubis":
+		return workload.NewRUBiS(20000, 80000), true
+	case "twitter":
+		return workload.NewTwitter(1000), true
+	case "append":
+		return workload.NewAppend(), true
+	default:
+		return nil, false
+	}
+}
+
+func pickFault(name string) (mvcc.FaultMode, bool) {
+	switch name {
+	case "none":
+		return mvcc.FaultNone, true
+	case "fractured":
+		return mvcc.FaultFracturedSnapshot, true
+	case "lostupdate":
+		return mvcc.FaultLostUpdate, true
+	case "visibleaborts":
+		return mvcc.FaultVisibleAborts, true
+	default:
+		return 0, false
+	}
+}
+
+func pickAnomaly(name string) (anomaly.Kind, bool) {
+	switch name {
+	case "g1c":
+		return anomaly.G1c, true
+	case "long-fork":
+		return anomaly.LongFork, true
+	case "gsib":
+		return anomaly.GSIb, true
+	case "lost-update":
+		return anomaly.LostUpdate, true
+	case "aborted-read":
+		return anomaly.AbortedRead, true
+	case "future-read":
+		return anomaly.ReadYourFutureWrites, true
+	case "read-skew":
+		return anomaly.ReadSkew, true
+	default:
+		return 0, false
+	}
+}

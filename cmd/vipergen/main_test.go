@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"viper/internal/core"
+	"viper/internal/histio"
+)
+
+func TestGenerateAndCheckRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.jsonl")
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "twitter", "-txns", "80", "-clients", "4", "-o", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "C-Twitter") {
+		t.Fatalf("output: %s", out.String())
+	}
+	h, err := histio.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := core.CheckHistory(h, core.Options{Level: core.AdyaSI})
+	if rep.Outcome != core.Accept {
+		t.Fatalf("generated history rejected: %v", rep.Outcome)
+	}
+}
+
+func TestGenerateEveryBenchName(t *testing.T) {
+	for _, bench := range []string{"blindw-rw", "blindw-rm", "range-b", "range-rqh", "range-idh", "tpcc", "rubis", "twitter", "append"} {
+		path := filepath.Join(t.TempDir(), bench+".jsonl")
+		var out, errb bytes.Buffer
+		if code := run([]string{"-bench", bench, "-txns", "20", "-clients", "2", "-o", path}, &out, &errb); code != 0 {
+			t.Fatalf("%s: exit %d: %s", bench, code, errb.String())
+		}
+	}
+}
+
+func TestGenerateWithAnomalyAndFault(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "blindw-rw", "-txns", "30", "-clients", "2",
+		"-anomaly", "long-fork", "-o", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	h, err := histio.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := core.CheckHistory(h, core.Options{Level: core.AdyaSI}); rep.Outcome != core.Reject {
+		t.Fatalf("anomalous history accepted")
+	}
+
+	// Fault mode path (output need not be SI; just must generate).
+	path2 := filepath.Join(t.TempDir(), "fault.jsonl")
+	if code := run([]string{"-bench", "append", "-txns", "30", "-clients", "4",
+		"-fault", "lostupdate", "-o", path2}, &out, &errb); code != 0 {
+		t.Fatalf("fault run exit %d", code)
+	}
+}
+
+func TestGenerateSessionLogs(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "logs")
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", "blindw-rm", "-txns", "40", "-clients", "3",
+		"-session-logs", "-o", dir}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	h, err := histio.ReadSessionDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 40 {
+		t.Fatalf("merged %d txns", h.Len())
+	}
+}
+
+func TestGenerateBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bench", "bogus"}, &out, &errb); code != 3 {
+		t.Fatal("bogus bench accepted")
+	}
+	if code := run([]string{"-fault", "bogus"}, &out, &errb); code != 3 {
+		t.Fatal("bogus fault accepted")
+	}
+	if code := run([]string{"-anomaly", "bogus", "-txns", "5", "-o", filepath.Join(t.TempDir(), "x")}, &out, &errb); code != 3 {
+		t.Fatal("bogus anomaly accepted")
+	}
+}

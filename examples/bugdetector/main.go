@@ -1,0 +1,121 @@
+// Bugdetector uses viper the way a database testing team would (§7.3):
+// run workloads against engines with injected isolation bugs and show that
+// the checker catches each class — and that the variant hierarchy
+// separates behaviours that are SI but not *strong* SI.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"viper"
+	"viper/internal/collector"
+	"viper/internal/mvcc"
+	"viper/internal/runner"
+	"viper/internal/workload"
+)
+
+func main() {
+	faultyEngines()
+	snapshotLagHierarchy()
+}
+
+// faultyEngines runs a contended read-modify-write workload against
+// engines with each fault mode and reports the checker's verdicts.
+func faultyEngines() {
+	fmt.Println("engine fault        verdict  evidence")
+	cases := []struct {
+		name  string
+		fault mvcc.FaultMode
+	}{
+		{"none (correct SI)", mvcc.FaultNone},
+		{"fractured snapshot", mvcc.FaultFracturedSnapshot},
+		{"lost update", mvcc.FaultLostUpdate},
+		{"visible aborts", mvcc.FaultVisibleAborts},
+	}
+	gen := &workload.Append{Keys: 3, OpsPerTxn: 3, AppendRatio: 0.7}
+	for _, c := range cases {
+		// Deterministic contention: two sessions race RMWs on few keys.
+		h := contendedRun(gen, c.fault)
+		res := viper.Check(h, viper.Options{Level: viper.AdyaSI, Timeout: time.Minute})
+		evidence := "-"
+		if res.Violation != nil {
+			var verr *viper.ValidationError
+			if errors.As(res.Violation, &verr) {
+				evidence = verr.Kind.String()
+			}
+		} else if res.Report != nil && res.Report.KnownCycle != nil {
+			evidence = fmt.Sprintf("dependency cycle (%d edges)", len(res.Report.KnownCycle))
+		} else if res.Outcome == viper.Reject {
+			evidence = "no acyclic compatible graph"
+		}
+		fmt.Printf("%-18s  %-7s  %s\n", c.name, res.Outcome, evidence)
+	}
+	fmt.Println()
+}
+
+// contendedRun interleaves two sessions deterministically so every fault
+// mode manifests (scheduling-independent, unlike a plain concurrent run).
+func contendedRun(gen workload.Generator, fault mvcc.FaultMode) *viper.History {
+	db := mvcc.New(mvcc.Config{Fault: fault})
+	col := collector.New(db, collector.Config{})
+	s1, s2 := col.Session(), col.Session()
+
+	// Initialize a counter, then interleave two increments so both read
+	// the same version, then let a third transaction read the result.
+	init := s1.Begin()
+	init.Write("counter", "0")
+	if err := init.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	t1, t2 := s1.Begin(), s2.Begin()
+	t1.Read("counter")
+	t2.Read("counter")
+	t1.Write("counter", "1")
+	t2.Write("counter", "1")
+	t1.Commit()
+	t2.Commit() // conflicts abort under a correct engine
+
+	ghost := s1.Begin()
+	ghost.Write("ghost", "boo")
+	ghost.Abort() // visible under FaultVisibleAborts
+
+	t3 := s2.Begin()
+	t3.Read("counter")
+	t3.Read("ghost")
+	t3.Commit()
+
+	// A paired write observed across a concurrent read exposes fractured
+	// snapshots.
+	r := s1.Begin()
+	r.Read("p")
+	w := s2.Begin()
+	w.Write("p", "1")
+	w.Write("q", "1")
+	w.Commit()
+	r.Read("q")
+	r.Commit()
+
+	return col.RawHistory()
+}
+
+// snapshotLagHierarchy shows the variant hierarchy separating behaviours:
+// an engine serving (consistent but) stale snapshots is still Adya SI and
+// GSI, yet fails Strong SI — exactly the question "which SI variant does
+// this database provide?".
+func snapshotLagHierarchy() {
+	h, _, err := runner.Run(workload.NewBlindWRM(), runner.Config{
+		Clients: 8, Txns: 400, Seed: 7,
+		DB: mvcc.Config{SnapshotLagMax: 8, Seed: 7},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stale-snapshot engine across the hierarchy:")
+	for _, level := range []viper.Level{viper.AdyaSI, viper.GSI, viper.StrongSessionSI, viper.StrongSI} {
+		res := viper.Check(h, viper.Options{Level: level, Timeout: time.Minute})
+		fmt.Printf("  %-18s %s\n", level, res.Outcome)
+	}
+}

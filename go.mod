@@ -1,0 +1,3 @@
+module viper
+
+go 1.22

@@ -1,0 +1,193 @@
+package acyclic
+
+import "sort"
+
+// FindCycle searches a directed graph (n nodes, adjacency out) for a
+// cycle. It returns the cycle as a node sequence [c0, c1, ..., ck] where
+// each consecutive pair is an edge and ck→c0 closes the cycle, or nil if
+// the graph is acyclic. Used for the constraint-free BC-graph fast path
+// (write order fully known, §7.1's append benchmark) and by the lazy
+// theory's final check.
+func FindCycle(n int, out [][]int32) []int32 {
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on the current DFS path
+		black = 2 // done
+	)
+	color := make([]int8, n)
+	parent := make([]int32, n)
+	// Iterative DFS with an explicit stack of (node, next-edge-index).
+	type frame struct {
+		node int32
+		next int
+	}
+	var stack []frame
+	for start := int32(0); int(start) < n; start++ {
+		if color[start] != white {
+			continue
+		}
+		color[start] = gray
+		parent[start] = -1
+		stack = append(stack[:0], frame{start, 0})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(out[f.node]) {
+				w := out[f.node][f.next]
+				f.next++
+				switch color[w] {
+				case white:
+					color[w] = gray
+					parent[w] = f.node
+					stack = append(stack, frame{w, 0})
+				case gray:
+					// Found a back edge f.node→w: cycle w ⇝ f.node → w.
+					var cyc []int32
+					for x := f.node; x != w; x = parent[x] {
+						cyc = append(cyc, x)
+					}
+					cyc = append(cyc, w)
+					// cyc is [f.node .. w] reversed; flip to w-first order.
+					for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+						cyc[i], cyc[j] = cyc[j], cyc[i]
+					}
+					return cyc
+				}
+			} else {
+				color[f.node] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// TopoBFS computes a topological order of the known graph using Kahn's
+// algorithm processed in BFS layers, breaking ties inside each layer with
+// the provided less function. This is exactly the heuristic-pruning
+// topological sort of the paper (§6): BFS layering plus session-log order
+// inside a layer approximates the database's real execution schedule much
+// better than an arbitrary topological order.
+//
+// It returns the node order (order[i] = i-th node) and ok=false if the
+// graph has a cycle (in which case order is nil).
+func TopoBFS(n int, out [][]int32, less func(a, b int32) bool) (order []int32, ok bool) {
+	indeg := make([]int32, n)
+	for _, succs := range out {
+		for _, w := range succs {
+			indeg[w]++
+		}
+	}
+	layer := make([]int32, 0, n)
+	for i := int32(0); int(i) < n; i++ {
+		if indeg[i] == 0 {
+			layer = append(layer, i)
+		}
+	}
+	order = make([]int32, 0, n)
+	var next []int32
+	for len(layer) > 0 {
+		if less != nil {
+			sort.Slice(layer, func(a, b int) bool { return less(layer[a], layer[b]) })
+		}
+		next = next[:0]
+		for _, u := range layer {
+			order = append(order, u)
+			for _, w := range out[u] {
+				indeg[w]--
+				if indeg[w] == 0 {
+					next = append(next, w)
+				}
+			}
+		}
+		layer = append(layer[:0], next...)
+	}
+	if len(order) != n {
+		return nil, false
+	}
+	return order, true
+}
+
+// TopoPriority computes a topological order by Kahn's algorithm with a
+// priority queue: among currently available nodes, the least (per less) is
+// emitted first. With wall-clock timestamps as the priority this yields an
+// order that tracks the database's real schedule much more closely than
+// plain BFS layering, which is exactly what heuristic pruning wants: fewer
+// wrong assumptions, fewer retries.
+//
+// It returns ok=false (and a nil order) if the graph has a cycle.
+func TopoPriority(n int, out [][]int32, less func(a, b int32) bool) (order []int32, ok bool) {
+	indeg := make([]int32, n)
+	for _, succs := range out {
+		for _, w := range succs {
+			indeg[w]++
+		}
+	}
+	// Binary min-heap of available nodes.
+	heap := make([]int32, 0, n)
+	up := func(i int) {
+		v := heap[i]
+		for i > 0 {
+			p := (i - 1) / 2
+			if !less(v, heap[p]) {
+				break
+			}
+			heap[i] = heap[p]
+			i = p
+		}
+		heap[i] = v
+	}
+	down := func(i int) {
+		v := heap[i]
+		for {
+			l := 2*i + 1
+			if l >= len(heap) {
+				break
+			}
+			c := l
+			if r := l + 1; r < len(heap) && less(heap[r], heap[l]) {
+				c = r
+			}
+			if !less(heap[c], v) {
+				break
+			}
+			heap[i] = heap[c]
+			i = c
+		}
+		heap[i] = v
+	}
+	push := func(v int32) {
+		heap = append(heap, v)
+		up(len(heap) - 1)
+	}
+	pop := func() int32 {
+		v := heap[0]
+		last := heap[len(heap)-1]
+		heap = heap[:len(heap)-1]
+		if len(heap) > 0 {
+			heap[0] = last
+			down(0)
+		}
+		return v
+	}
+
+	for i := int32(0); int(i) < n; i++ {
+		if indeg[i] == 0 {
+			push(i)
+		}
+	}
+	order = make([]int32, 0, n)
+	for len(heap) > 0 {
+		u := pop()
+		order = append(order, u)
+		for _, w := range out[u] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				push(w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, false
+	}
+	return order, true
+}

@@ -1,0 +1,160 @@
+package acyclic
+
+import "viper/internal/sat"
+
+// WeightedTheory enforces "no directed cycle of total weight ≤ maxW" over
+// 0/1-weighted symbolic edges. It reproduces the ASI+Mono baseline's use
+// of MonoSAT node-distance primitives (§6): serialization-graph edges have
+// weight 0 (read/write dependencies) or 1 (anti-dependencies), and Adya SI
+// forbids cycles with zero or one anti-dependency edge, i.e. cycles of
+// weight ≤ 1.
+//
+// Unlike EdgeTheory this does not maintain a topological order (none
+// exists: heavier cycles are legal); each insertion runs a 0/1-BFS from
+// the edge head looking for a cheap path back to the tail.
+type WeightedTheory struct {
+	n      int
+	maxW   int32
+	out    [][]wedge
+	edgeOf map[sat.Var]wedgeRef
+	varOf  map[Edge]sat.Var
+	weight map[Edge]int32
+	trail  []sat.Var
+
+	dist   []int32
+	parent []int32
+	// Conflicts counts theory conflicts, for stats.
+	Conflicts int64
+}
+
+type wedge struct {
+	to int32
+	w  int32
+}
+
+type wedgeRef struct {
+	e Edge
+	w int32
+}
+
+// NewWeightedTheory returns a theory over n nodes forbidding cycles of
+// weight ≤ maxW.
+func NewWeightedTheory(n int, maxW int32) *WeightedTheory {
+	return &WeightedTheory{
+		n:      n,
+		maxW:   maxW,
+		out:    make([][]wedge, n),
+		edgeOf: make(map[sat.Var]wedgeRef),
+		varOf:  make(map[Edge]sat.Var),
+		weight: make(map[Edge]int32),
+		dist:   make([]int32, n),
+		parent: make([]int32, n),
+	}
+}
+
+// EdgeVar returns the variable bound to edge u→v with weight w (0 or 1),
+// allocating one if needed. An edge keeps the weight of its first
+// registration.
+func (t *WeightedTheory) EdgeVar(s *sat.Solver, u, v int32, w int32) sat.Var {
+	e := Edge{u, v}
+	if ev, ok := t.varOf[e]; ok {
+		return ev
+	}
+	ev := s.NewVar()
+	t.varOf[e] = ev
+	t.edgeOf[ev] = wedgeRef{e, w}
+	t.weight[e] = w
+	return ev
+}
+
+// Assign implements sat.Theory.
+func (t *WeightedTheory) Assign(l sat.Lit) []sat.Lit {
+	if l.Sign() {
+		return nil
+	}
+	ref, ok := t.edgeOf[l.Var()]
+	if !ok {
+		return nil
+	}
+	u, v, w := ref.e.From, ref.e.To, ref.w
+	if path := t.cheapPath(v, u, t.maxW-w); path != nil {
+		t.Conflicts++
+		confl := []sat.Lit{sat.NegLit(l.Var())}
+		for i := 0; i+1 < len(path); i++ {
+			ev, ok := t.varOf[Edge{path[i], path[i+1]}]
+			if !ok {
+				panic("acyclic: weighted cycle through unregistered edge")
+			}
+			confl = append(confl, sat.NegLit(ev))
+		}
+		return confl
+	}
+	t.out[u] = append(t.out[u], wedge{v, w})
+	t.trail = append(t.trail, l.Var())
+	return nil
+}
+
+// cheapPath finds a path src⇝dst of total weight ≤ budget among inserted
+// edges, returning the node path or nil. 0/1-BFS (deque) with parent
+// pointers.
+func (t *WeightedTheory) cheapPath(src, dst int32, budget int32) []int32 {
+	if budget < 0 {
+		return nil
+	}
+	if src == dst {
+		return []int32{src}
+	}
+	const inf = int32(1) << 30
+	for i := range t.dist {
+		t.dist[i] = inf
+	}
+	t.dist[src] = 0
+	t.parent[src] = -1
+	// deque for 0/1 BFS
+	dq := make([]int32, 0, 64)
+	dq = append(dq, src)
+	for len(dq) > 0 {
+		n := dq[0]
+		dq = dq[1:]
+		for _, e := range t.out[n] {
+			nd := t.dist[n] + e.w
+			if nd > budget || nd >= t.dist[e.to] {
+				continue
+			}
+			t.dist[e.to] = nd
+			t.parent[e.to] = n
+			if e.w == 0 {
+				dq = append([]int32{e.to}, dq...)
+			} else {
+				dq = append(dq, e.to)
+			}
+		}
+	}
+	if t.dist[dst] > budget {
+		return nil
+	}
+	var path []int32
+	for n := dst; n != -1; n = t.parent[n] {
+		path = append(path, n)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// Undo implements sat.Theory.
+func (t *WeightedTheory) Undo(l sat.Lit) {
+	if l.Sign() {
+		return
+	}
+	if n := len(t.trail); n > 0 && t.trail[n-1] == l.Var() {
+		t.trail = t.trail[:n-1]
+		ref := t.edgeOf[l.Var()]
+		u := ref.e.From
+		t.out[u] = t.out[u][:len(t.out[u])-1]
+	}
+}
+
+// Check implements sat.Theory; enforcement is eager.
+func (t *WeightedTheory) Check() []sat.Lit { return nil }

@@ -1,0 +1,111 @@
+package anomaly
+
+import (
+	"errors"
+	"testing"
+
+	"viper/internal/core"
+	"viper/internal/history"
+	"viper/internal/runner"
+	"viper/internal/workload"
+)
+
+func baseHistory(t *testing.T) *history.History {
+	t.Helper()
+	h, _, err := runner.Run(workload.NewBlindWRW(), runner.Config{Clients: 4, Txns: 60, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestEveryKindRejected: each injected violation must flip an accepted
+// history to rejected — either at validation (G1a-class) or by the
+// checker.
+func TestEveryKindRejected(t *testing.T) {
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			h := baseHistory(t)
+			if rep := core.CheckHistory(h, core.Options{Level: core.AdyaSI}); rep.Outcome != core.Accept {
+				t.Fatalf("base history not SI: %v", rep.Outcome)
+			}
+			Inject(h, kind)
+			err := h.Validate()
+			if kind.ValidationLevel() {
+				var verr *history.ValidationError
+				if !errors.As(err, &verr) {
+					t.Fatalf("validation-level anomaly not caught: %v", err)
+				}
+				switch kind {
+				case AbortedRead:
+					if verr.Kind != history.ErrAbortedRead {
+						t.Fatalf("kind = %v", verr.Kind)
+					}
+				case ReadYourFutureWrites:
+					if verr.Kind != history.ErrFutureRead {
+						t.Fatalf("kind = %v", verr.Kind)
+					}
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("injected history no longer validates: %v", err)
+			}
+			rep := core.CheckHistory(h, core.Options{Level: core.AdyaSI})
+			if rep.Outcome != core.Reject {
+				t.Fatalf("checker accepted %v (outcome %v)", kind, rep.Outcome)
+			}
+		})
+	}
+}
+
+func TestInjectIntoEmptyHistory(t *testing.T) {
+	b := history.NewBuilder()
+	h := b.MustHistory()
+	Inject(h, LongFork)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rep := core.CheckHistory(h, core.Options{Level: core.AdyaSI})
+	if rep.Outcome != core.Reject {
+		t.Fatalf("outcome = %v", rep.Outcome)
+	}
+}
+
+func TestInjectPreservesFreshWriteIDs(t *testing.T) {
+	h := baseHistory(t)
+	before := h.Len()
+	Inject(h, LostUpdate)
+	if err := h.Validate(); err != nil {
+		t.Fatalf("write-id collision after inject: %v", err)
+	}
+	if h.Len() != before+3 {
+		t.Fatalf("appended %d txns, want 3", h.Len()-before)
+	}
+}
+
+func TestKindStringsDistinct(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, k := range Kinds() {
+		s := k.String()
+		if seen[s] {
+			t.Fatalf("duplicate label %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestWriteSkewNotInjectable(t *testing.T) {
+	// Sanity: the GSIb injection is a genuine single-anti-dep cycle, not
+	// write skew — the checker must reject it even though write skew (two
+	// anti-deps) would be accepted.
+	b := history.NewBuilder()
+	h := b.MustHistory()
+	Inject(h, GSIb)
+	h.Validate()
+	rep := core.CheckHistory(h, core.Options{Level: core.AdyaSI, DisableCombineWrites: true})
+	if rep.Outcome != core.Reject {
+		t.Fatalf("outcome = %v", rep.Outcome)
+	}
+}

@@ -1,0 +1,237 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"viper/internal/acyclic"
+	"viper/internal/core"
+	"viper/internal/history"
+	"viper/internal/sat"
+)
+
+// ASIMono is the ASI+Mono baseline (§6): Adya SI on the serialization
+// graph using MonoSAT-style graph primitives. Dependency edges carry
+// weights — 0 for read/write dependencies, 1 for anti-dependencies — and
+// the weighted-cycle theory forbids any cycle of weight ≤ 1 (Adya's
+// conditions 1 and 2). As in the paper's encoding, begin/commit timestamps
+// are also materialized (here as pairwise order atoms over events, the
+// propositional form of the paper's bitvector timestamps) and asserted to
+// respect dependencies — they carry Adya's start-order obligations, which
+// the cycle conditions alone miss. This quadratic timestamp machinery,
+// which viper's BC-polygraphs make unnecessary, is what keeps ASI+Mono
+// well behind viper (Figures 8 and 11).
+type ASIMono struct {
+	// Optimized additionally applies Cobra's combining-writes optimization
+	// (the ASI+Mono+Opt baseline): read-modify-write chains pin their ww
+	// atoms.
+	Optimized bool
+	// MaxTxns caps the encodable history size (default 2000).
+	MaxTxns int
+}
+
+// Name implements Checker.
+func (a *ASIMono) Name() string {
+	if a.Optimized {
+		return "ASI+Mono+Opt"
+	}
+	return "ASI+Mono"
+}
+
+// Check implements Checker.
+func (a *ASIMono) Check(h *history.History, timeout time.Duration) Result {
+	start := time.Now()
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = start.Add(timeout)
+	}
+	maxTxns := a.MaxTxns
+	if maxTxns == 0 {
+		maxTxns = 2000
+	}
+	ti := indexTxns(h)
+	n := ti.n()
+	if n > maxTxns {
+		return Result{Outcome: core.Timeout, Elapsed: time.Since(start),
+			Note: fmt.Sprintf("encoding exceeds budget (%d txns > %d)", n, maxTxns)}
+	}
+	acc := indexAccesses(h)
+
+	s := sat.New()
+	if !deadline.IsZero() {
+		s.SetDeadline(deadline)
+	}
+	// Two theories share the solver's assignment stream: the weighted
+	// serialization graph (cycle conditions) and the timestamp order
+	// (pairwise atoms with plain acyclicity). They see disjoint variables.
+	wth := acyclic.NewWeightedTheory(n, 1)
+	oth := acyclic.NewEdgeTheory(2 * n)
+	s.SetTheory(&fanoutTheory{ts: []sat.Theory{wth, oth}})
+
+	ok := true
+	addClause := func(lits ...sat.Lit) { ok = s.AddClause(lits...) && ok }
+	dep := func(i, j int32, w int32) sat.Lit { return sat.PosLit(wth.EdgeVar(s, i, j, w)) }
+	// Begin/commit timestamp atoms (the paper's bitvector timestamps):
+	// event 2i is txn i's begin, 2i+1 its commit.
+	before := func(i, j int32) sat.Lit { return sat.PosLit(oth.EdgeVar(s, i, j)) }
+	beginEv := func(i int32) int32 { return 2 * i }
+	commitEv := func(i int32) int32 { return 2*i + 1 }
+
+	// Timestamp totality over all begin/commit pairs (the quadratic part),
+	// plus the intra-transaction order.
+	m := int32(2 * n)
+	for i := int32(0); i < m; i++ {
+		if overBudget(deadline) {
+			return Result{Outcome: core.Timeout, Elapsed: time.Since(start), Vars: s.Stats.Vars}
+		}
+		for j := i + 1; j < m; j++ {
+			addClause(before(i, j), before(j, i))
+			addClause(before(i, j).Neg(), before(j, i).Neg())
+		}
+	}
+	for i := int32(0); int(i) < n; i++ {
+		addClause(before(beginEv(i), commitEv(i)))
+	}
+
+	// Known wr edges; read/write dependencies require the writer to commit
+	// before the dependent begins (Adya's start-order obligations).
+	for _, byWriter := range acc.readers {
+		for w, rs := range byWriter {
+			if w == history.GenesisID {
+				continue
+			}
+			wi := ti.idx[w]
+			for _, r := range rs {
+				if r == w {
+					continue
+				}
+				ri := ti.idx[r]
+				addClause(dep(wi, ri, 0))
+				addClause(before(commitEv(wi), beginEv(ri)))
+			}
+		}
+	}
+
+	// Per-key write order atoms (+ chain pinning when Optimized), derived
+	// anti-dependencies, and timestamp obligations.
+	pinned := make(map[[2]int32]bool)
+	if a.Optimized {
+		for key, ws := range acc.writers {
+			isWriter := make(map[history.TxnID]bool, len(ws))
+			for _, w := range ws {
+				isWriter[w] = true
+			}
+			for w1, rs := range acc.readers[key] {
+				if w1 == history.GenesisID || !isWriter[w1] {
+					continue
+				}
+				for _, r := range rs {
+					if isWriter[r] && r != w1 {
+						// r read (key, w1) and writes key: ww(w1, r) holds.
+						pinned[[2]int32{ti.idx[w1], ti.idx[r]}] = true
+					}
+				}
+			}
+		}
+	}
+	for key, ws := range acc.writers {
+		for x := 0; x < len(ws); x++ {
+			for y := x + 1; y < len(ws); y++ {
+				wi, wj := ti.idx[ws[x]], ti.idx[ws[y]]
+				fwd, rev := dep(wi, wj, 0), dep(wj, wi, 0)
+				switch {
+				case pinned[[2]int32{wi, wj}]:
+					addClause(fwd)
+					addClause(rev.Neg())
+				case pinned[[2]int32{wj, wi}]:
+					addClause(rev)
+					addClause(fwd.Neg())
+				default:
+					addClause(fwd, rev)
+					addClause(fwd.Neg(), rev.Neg())
+				}
+				// ww implies timestamp order (commit before begin).
+				addClause(fwd.Neg(), before(commitEv(wi), beginEv(wj)))
+				addClause(rev.Neg(), before(commitEv(wj), beginEv(wi)))
+			}
+		}
+		byWriter := acc.readers[key]
+		for w1, rs := range byWriter {
+			if w1 == history.GenesisID {
+				for _, r := range rs {
+					for _, w2 := range ws {
+						if w2 != r {
+							addClause(dep(ti.idx[r], ti.idx[w2], 1))
+							addClause(before(beginEv(ti.idx[r]), commitEv(ti.idx[w2])))
+						}
+					}
+				}
+				continue
+			}
+			i1 := ti.idx[w1]
+			for _, r := range rs {
+				ri := ti.idx[r]
+				for _, w2 := range ws {
+					if w2 == w1 || w2 == r {
+						continue
+					}
+					i2 := ti.idx[w2]
+					// ww(w1,w2) → rw(r,w2), and anti-dependencies require
+					// the reader to begin before the overwriter commits.
+					addClause(dep(i1, i2, 0).Neg(), dep(ri, i2, 1))
+					addClause(dep(ri, i2, 1).Neg(), before(beginEv(ri), commitEv(i2)))
+				}
+			}
+		}
+	}
+
+	if !ok {
+		return Result{Outcome: core.Reject, Elapsed: time.Since(start), Vars: s.Stats.Vars, Clauses: s.Stats.Clauses}
+	}
+	res := s.Solve()
+	out := core.Timeout
+	switch res {
+	case sat.Sat:
+		out = core.Accept
+	case sat.Unsat:
+		out = core.Reject
+	}
+	return Result{Outcome: out, Elapsed: time.Since(start), Vars: s.Stats.Vars, Clauses: s.Stats.Clauses}
+}
+
+// fanoutTheory multiplexes the solver's theory stream to several theories.
+type fanoutTheory struct {
+	ts []sat.Theory
+}
+
+// Assign implements sat.Theory: the first conflicting theory wins. Earlier
+// theories that already accepted the literal are rolled back so the
+// backtracking streams stay aligned.
+func (f *fanoutTheory) Assign(l sat.Lit) []sat.Lit {
+	for i, t := range f.ts {
+		if confl := t.Assign(l); confl != nil {
+			for j := i - 1; j >= 0; j-- {
+				f.ts[j].Undo(l)
+			}
+			return confl
+		}
+	}
+	return nil
+}
+
+// Undo implements sat.Theory.
+func (f *fanoutTheory) Undo(l sat.Lit) {
+	for i := len(f.ts) - 1; i >= 0; i-- {
+		f.ts[i].Undo(l)
+	}
+}
+
+// Check implements sat.Theory.
+func (f *fanoutTheory) Check() []sat.Lit {
+	for _, t := range f.ts {
+		if confl := t.Check(); confl != nil {
+			return confl
+		}
+	}
+	return nil
+}

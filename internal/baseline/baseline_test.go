@@ -1,0 +1,211 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"viper/internal/core"
+	"viper/internal/history"
+	"viper/internal/runner"
+	"viper/internal/workload"
+)
+
+func allCheckers() []Checker {
+	return []Checker{
+		&Viper{Opts: core.Options{Level: core.AdyaSI}},
+		&GSISat{},
+		&GSISat{Pruning: true},
+		&ASISat{},
+		&ASISat{Pruning: true},
+		&ASIMono{},
+		&ASIMono{Optimized: true},
+	}
+}
+
+// histories that every sound checker must agree on.
+func agreeCases(t *testing.T) map[string]struct {
+	h    *history.History
+	want core.Outcome
+} {
+	t.Helper()
+	mk := func(build func(b *history.Builder)) *history.History {
+		b := history.NewBuilder()
+		build(b)
+		return b.MustHistory()
+	}
+	return map[string]struct {
+		h    *history.History
+		want core.Outcome
+	}{
+		"serial-chain": {mk(func(b *history.Builder) {
+			s := b.Session()
+			prev := s.Txn().Write("x").Commit()
+			for i := 0; i < 5; i++ {
+				prev = s.Txn().ReadObserved("x", prev.WriteIDOf("x")).Write("x").Commit()
+			}
+		}), core.Accept},
+		"write-skew": {mk(func(b *history.Builder) {
+			s1, s2 := b.Session(), b.Session()
+			s1.Txn().ReadGenesis("x").Write("y").Commit()
+			s2.Txn().ReadGenesis("y").Write("x").Commit()
+		}), core.Accept},
+		"long-fork": {mk(func(b *history.Builder) {
+			ss := []*history.SessionBuilder{b.Session(), b.Session(), b.Session(), b.Session(), b.Session()}
+			t1 := ss[0].Txn().Write("x").Write("y").Commit()
+			t2 := ss[1].Txn().ReadObserved("x", t1.WriteIDOf("x")).Write("x").Commit()
+			t3 := ss[2].Txn().ReadObserved("y", t1.WriteIDOf("y")).Write("y").Commit()
+			ss[3].Txn().ReadObserved("x", t2.WriteIDOf("x")).ReadObserved("y", t1.WriteIDOf("y")).Commit()
+			ss[4].Txn().ReadObserved("x", t1.WriteIDOf("x")).ReadObserved("y", t3.WriteIDOf("y")).Commit()
+		}), core.Reject},
+		"lost-update": {mk(func(b *history.Builder) {
+			s1, s2, s3 := b.Session(), b.Session(), b.Session()
+			t1 := s1.Txn().Write("x").Commit()
+			s2.Txn().ReadObserved("x", t1.WriteIDOf("x")).Write("x").Commit()
+			s3.Txn().ReadObserved("x", t1.WriteIDOf("x")).Write("x").Commit()
+		}), core.Reject},
+		"read-skew": {mk(func(b *history.Builder) {
+			s1, s2 := b.Session(), b.Session()
+			wy := history.WriteID(2)
+			s1.Txn().ReadGenesis("x").ReadObserved("y", wy).Commit()
+			s2.Txn().Write("x").Write("y").Commit()
+		}), core.Reject},
+	}
+}
+
+// TestAllSoundCheckersAgree is the differential test: viper and every
+// baseline must produce the same verdict on every case.
+func TestAllSoundCheckersAgree(t *testing.T) {
+	for name, tc := range agreeCases(t) {
+		for _, c := range allCheckers() {
+			res := c.Check(tc.h, 30*time.Second)
+			if res.Outcome != tc.want {
+				t.Errorf("%s on %s: got %v, want %v (%s)", c.Name(), name, res.Outcome, tc.want, res.Note)
+			}
+		}
+	}
+}
+
+// TestCheckersAgreeOnGeneratedWorkload cross-checks viper against all
+// baselines on a real concurrent BlindW run (SI by construction).
+func TestCheckersAgreeOnGeneratedWorkload(t *testing.T) {
+	h, _, err := runner.Run(workload.NewBlindWRW(), runner.Config{Clients: 6, Txns: 60, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range allCheckers() {
+		res := c.Check(h, 60*time.Second)
+		if res.Outcome != core.Accept {
+			t.Errorf("%s: got %v (%s), want accept", c.Name(), res.Outcome, res.Note)
+		}
+	}
+}
+
+func TestElleSoundModeOnAppend(t *testing.T) {
+	h, _, err := runner.Run(workload.NewAppend(), runner.Config{Clients: 6, Txns: 120, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Elle{Mode: ElleSound}
+	res := e.Check(h, time.Minute)
+	if res.Outcome != core.Accept {
+		t.Fatalf("Elle sound mode: %v (%s)", res.Outcome, res.Note)
+	}
+}
+
+func TestElleSoundModeRefusesBlindWrites(t *testing.T) {
+	b := history.NewBuilder()
+	s := b.Session()
+	s.Txn().Write("x").Commit()
+	s.Txn().Write("x").Commit()
+	h := b.MustHistory()
+	e := &Elle{Mode: ElleSound}
+	res := e.Check(h, time.Minute)
+	if res.Outcome != core.Timeout || res.Note == "" {
+		t.Fatalf("sound mode on blind writes: %v (%q)", res.Outcome, res.Note)
+	}
+}
+
+// TestElleInferredUnsound reproduces Figure 15's headline: the inferred
+// mode detects G1c but misses the long fork, because the timestamp-guessed
+// version order hides it.
+func TestElleInferredUnsound(t *testing.T) {
+	cases := agreeCases(t)
+	e := &Elle{Mode: ElleInferred}
+
+	// Long fork: builder timestamps commit T2 before T3, so inference
+	// orders x: T1<T2 and y: T1<T3 — consistent with reads; no forbidden
+	// cycle is visible and Elle accepts a non-SI history.
+	res := e.Check(cases["long-fork"].h, time.Minute)
+	if res.Outcome != core.Accept {
+		t.Fatalf("Elle-inferred on long fork: %v, expected (unsound) accept", res.Outcome)
+	}
+
+	// Lost update is visible regardless of guessed order.
+	res = e.Check(cases["lost-update"].h, time.Minute)
+	if res.Outcome != core.Reject {
+		t.Fatalf("Elle-inferred on lost update: %v", res.Outcome)
+	}
+}
+
+func TestBudgetCapsReportTimeout(t *testing.T) {
+	b := history.NewBuilder()
+	s := b.Session()
+	for i := 0; i < 10; i++ {
+		s.Txn().Write("x").Commit()
+	}
+	h := b.MustHistory()
+	for _, c := range []Checker{&GSISat{MaxTxns: 5}, &ASISat{MaxTxns: 5}, &ASIMono{MaxTxns: 5}} {
+		res := c.Check(h, time.Second)
+		if res.Outcome != core.Timeout || res.Note == "" {
+			t.Errorf("%s: got %v (%q), want budget timeout", c.Name(), res.Outcome, res.Note)
+		}
+	}
+}
+
+func TestDeadlineRespected(t *testing.T) {
+	h, _, err := runner.Run(workload.NewBlindWRW(), runner.Config{Clients: 6, Txns: 200, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &ASISat{MaxTxns: 10000}
+	start := time.Now()
+	res := c.Check(h, 200*time.Millisecond)
+	if el := time.Since(start); el > 15*time.Second {
+		t.Fatalf("deadline ignored: ran %v", el)
+	}
+	_ = res // outcome may be anything the budget allowed
+}
+
+func TestCheckerNames(t *testing.T) {
+	want := map[string]Checker{
+		"Viper":         &Viper{},
+		"GSI+SAT":       &GSISat{},
+		"GSI+SAT+P":     &GSISat{Pruning: true},
+		"ASI+SAT":       &ASISat{},
+		"ASI+SAT+P":     &ASISat{Pruning: true},
+		"ASI+Mono":      &ASIMono{},
+		"ASI+Mono+Opt":  &ASIMono{Optimized: true},
+		"Elle":          &Elle{Mode: ElleSound},
+		"Elle-inferred": &Elle{Mode: ElleInferred},
+	}
+	for name, c := range want {
+		if c.Name() != name {
+			t.Errorf("Name() = %q, want %q", c.Name(), name)
+		}
+	}
+}
+
+func TestViperWrapperKeepsReport(t *testing.T) {
+	h, _, err := runner.Run(workload.NewTPCC(20), runner.Config{Clients: 4, Txns: 40, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &Viper{Opts: core.Options{Level: core.AdyaSI}}
+	res := v.Check(h, time.Minute)
+	if res.Outcome != core.Accept || v.LastReport == nil {
+		t.Fatalf("res=%v report=%v", res.Outcome, v.LastReport)
+	}
+	if v.LastReport.Nodes == 0 {
+		t.Fatal("report not populated")
+	}
+}

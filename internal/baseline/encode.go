@@ -1,0 +1,83 @@
+package baseline
+
+import (
+	"time"
+
+	"viper/internal/history"
+	"viper/internal/sat"
+	"viper/internal/ssg"
+)
+
+// txnIndex compacts the committed transactions of a history into dense
+// indices (genesis excluded) for the serialization-graph baselines.
+type txnIndex struct {
+	ids []history.TxnID         // dense → TxnID
+	idx map[history.TxnID]int32 // TxnID → dense
+}
+
+func indexTxns(h *history.History) *txnIndex {
+	ti := &txnIndex{idx: make(map[history.TxnID]int32)}
+	for _, t := range h.Txns[1:] {
+		if !t.Committed() {
+			continue
+		}
+		ti.idx[t.ID] = int32(len(ti.ids))
+		ti.ids = append(ti.ids, t.ID)
+	}
+	return ti
+}
+
+func (ti *txnIndex) n() int { return len(ti.ids) }
+
+// overBudget reports whether the deadline has passed (used to abandon
+// expensive encodings mid-construction).
+func overBudget(deadline time.Time) bool {
+	return !deadline.IsZero() && time.Now().After(deadline)
+}
+
+// keyAccess bundles the per-key writer and reader indexes shared by all
+// serialization-graph baselines.
+type keyAccess struct {
+	writers map[history.Key][]history.TxnID
+	readers map[history.Key]map[history.TxnID][]history.TxnID
+}
+
+func indexAccesses(h *history.History) keyAccess {
+	return keyAccess{writers: ssg.Writers(h), readers: ssg.Readers(h)}
+}
+
+// pairOrder allocates "a happens before b" atoms over a dense event space
+// and keeps them consistent through an acyclicity theory: atom(a,b) and
+// atom(b,a) are XOR-linked, and the chosen direction set must be acyclic —
+// the propositional equivalent of the Z3 integer timestamps the paper's
+// baselines use. Atoms are allocated for every pair eagerly (the total
+// order the arithmetic encoding commits to), which is exactly the
+// quadratic cost that separates the rule-based baselines from viper.
+type pairOrder struct {
+	s  *sat.Solver
+	th edgeAllocator
+}
+
+type edgeAllocator interface {
+	EdgeVar(*sat.Solver, int32, int32) sat.Var
+}
+
+// lit returns the literal asserting event a happens before event b.
+func (p *pairOrder) lit(a, b int32) sat.Lit {
+	return sat.PosLit(p.th.EdgeVar(p.s, a, b))
+}
+
+// allocateAll creates both direction atoms for every pair of m events with
+// the XOR totality clause, aborting early if the deadline passes. Returns
+// false on abort.
+func (p *pairOrder) allocateAll(m int, deadline time.Time) bool {
+	for a := int32(0); int(a) < m; a++ {
+		if overBudget(deadline) {
+			return false
+		}
+		for b := a + 1; int(b) < m; b++ {
+			p.s.AddXOR(p.lit(a, b), p.lit(b, a))
+		}
+	}
+	return true
+}

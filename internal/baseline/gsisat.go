@@ -1,0 +1,224 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"viper/internal/acyclic"
+	"viper/internal/core"
+	"viper/internal/history"
+	"viper/internal/sat"
+)
+
+// GSISat is the GSI+Z3 baseline (§6): a rule-based encoding of
+// Generalized SI. Every begin and commit event gets a position in a total
+// happens-before order (here: pairwise order atoms with an acyclicity
+// theory, the propositional form of Z3's integer timestamps), and the GSI
+// read and commit rules are asserted over it:
+//
+//   - a transaction begins before it commits;
+//   - a read observes a transaction that committed before the reader began
+//     (D1);
+//   - two writers of a key do not run concurrently: one commits before the
+//     other begins (D2);
+//   - a reader of version v of key x begins before any other writer of x
+//     commits, unless that writer committed before v's writer began.
+//
+// The quadratic atom allocation is what makes this baseline collapse at a
+// few hundred transactions, matching Figure 8.
+type GSISat struct {
+	// Pruning enables the heuristic-pruning adaptation of Figure 13.
+	Pruning bool
+	// InitialK is the initial pruning distance (default 32 events).
+	InitialK int
+	// MaxTxns caps the encodable history size (default 1200); larger
+	// histories report Timeout, as the paper's TO entries do.
+	MaxTxns int
+}
+
+// Name implements Checker.
+func (g *GSISat) Name() string {
+	if g.Pruning {
+		return "GSI+SAT+P"
+	}
+	return "GSI+SAT"
+}
+
+// gsiRule is one rule instance: a unit obligation or a two-disjunct
+// clause over order atoms (each atom is an event pair).
+type gsiRule struct {
+	unit   bool
+	a1, b1 int32 // first disjunct: a1 before b1
+	a2, b2 int32 // second disjunct (when !unit)
+}
+
+// Check implements Checker.
+func (g *GSISat) Check(h *history.History, timeout time.Duration) Result {
+	start := time.Now()
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = start.Add(timeout)
+	}
+	maxTxns := g.MaxTxns
+	if maxTxns == 0 {
+		maxTxns = 1200
+	}
+	ti := indexTxns(h)
+	if ti.n() > maxTxns {
+		return Result{Outcome: core.Timeout, Elapsed: time.Since(start),
+			Note: fmt.Sprintf("encoding exceeds budget (%d txns > %d)", ti.n(), maxTxns)}
+	}
+	m := 2 * ti.n() // events: begin 2i, commit 2i+1
+	begin := func(t history.TxnID) int32 { return ti.idx[t] * 2 }
+	commit := func(t history.TxnID) int32 { return ti.idx[t]*2 + 1 }
+
+	// Event timestamps for pruning order.
+	ts := make([]int64, m)
+	for _, id := range ti.ids {
+		t := h.Txns[id]
+		ts[begin(id)] = t.BeginAt
+		ts[commit(id)] = t.CommitAt
+	}
+
+	// Collect rule instances.
+	acc := indexAccesses(h)
+	var rules []gsiRule
+	for _, id := range ti.ids {
+		rules = append(rules, gsiRule{unit: true, a1: begin(id), b1: commit(id)})
+	}
+	for key, byWriter := range acc.readers {
+		for w, rs := range byWriter {
+			for _, r := range rs {
+				if w == history.GenesisID {
+					// Initial version: the reader begins before any writer
+					// of the key commits.
+					for _, w2 := range acc.writers[key] {
+						if w2 != r {
+							rules = append(rules, gsiRule{unit: true, a1: begin(r), b1: commit(w2)})
+						}
+					}
+					continue
+				}
+				rules = append(rules, gsiRule{unit: true, a1: commit(w), b1: begin(r)})
+				// Anti-dependency rule against every other writer.
+				for _, w2 := range acc.writers[key] {
+					if w2 == w || w2 == r {
+						continue
+					}
+					rules = append(rules, gsiRule{
+						a1: begin(r), b1: commit(w2),
+						a2: commit(w2), b2: begin(w),
+					})
+				}
+			}
+		}
+	}
+	// First-committer-wins: writers of a key are not concurrent.
+	for _, ws := range acc.writers {
+		for i := 0; i < len(ws); i++ {
+			for j := i + 1; j < len(ws); j++ {
+				rules = append(rules, gsiRule{
+					a1: commit(ws[i]), b1: begin(ws[j]),
+					a2: commit(ws[j]), b2: begin(ws[i]),
+				})
+			}
+		}
+	}
+
+	k := g.InitialK
+	if k <= 0 {
+		k = 32
+	}
+	if !g.Pruning {
+		k = 0
+	}
+	// Event rank in timestamp order, for pruning distances.
+	rank := rankByTS(ts)
+
+	for {
+		res, stats := g.attempt(m, rules, rank, k, deadline)
+		switch res {
+		case sat.Sat:
+			return Result{Outcome: core.Accept, Elapsed: time.Since(start), Vars: stats.Vars, Clauses: stats.Clauses}
+		case sat.Unknown:
+			return Result{Outcome: core.Timeout, Elapsed: time.Since(start), Vars: stats.Vars, Clauses: stats.Clauses}
+		}
+		if k == 0 {
+			return Result{Outcome: core.Reject, Elapsed: time.Since(start), Vars: stats.Vars, Clauses: stats.Clauses}
+		}
+		k *= 2
+		if k >= m {
+			k = 0
+		}
+	}
+}
+
+// attempt encodes and solves one pruning round.
+func (g *GSISat) attempt(m int, rules []gsiRule, rank []int32, k int, deadline time.Time) (sat.Result, sat.Stats) {
+	s := sat.New()
+	if !deadline.IsZero() {
+		s.SetDeadline(deadline)
+	}
+	th := acyclic.NewEdgeTheory(m)
+	s.SetTheory(th)
+	p := &pairOrder{s: s, th: th}
+	if !p.allocateAll(m, deadline) {
+		return sat.Unknown, s.Stats
+	}
+	backward := func(a, b int32) bool { return int(rank[a])-int(rank[b]) >= k }
+	for _, r := range rules {
+		if r.unit {
+			if !s.AddClause(p.lit(r.a1, r.b1)) {
+				return sat.Unsat, s.Stats
+			}
+			continue
+		}
+		if k > 0 {
+			// Heuristic pruning: drop disjuncts that run far backward in
+			// timestamp order.
+			bad1, bad2 := backward(r.a1, r.b1), backward(r.a2, r.b2)
+			switch {
+			case bad1 && bad2:
+				return sat.Unsat, s.Stats
+			case bad1:
+				if !s.AddClause(p.lit(r.a2, r.b2)) {
+					return sat.Unsat, s.Stats
+				}
+				continue
+			case bad2:
+				if !s.AddClause(p.lit(r.a1, r.b1)) {
+					return sat.Unsat, s.Stats
+				}
+				continue
+			}
+		}
+		if !s.AddClause(p.lit(r.a1, r.b1), p.lit(r.a2, r.b2)) {
+			return sat.Unsat, s.Stats
+		}
+	}
+	return s.Solve(), s.Stats
+}
+
+// rankByTS ranks events by timestamp (stable by index).
+func rankByTS(ts []int64) []int32 {
+	type ev struct {
+		ts int64
+		i  int32
+	}
+	evs := make([]ev, len(ts))
+	for i, t := range ts {
+		evs[i] = ev{t, int32(i)}
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].ts != evs[b].ts {
+			return evs[a].ts < evs[b].ts
+		}
+		return evs[a].i < evs[b].i
+	})
+	rank := make([]int32, len(ts))
+	for r, e := range evs {
+		rank[e.i] = int32(r)
+	}
+	return rank
+}

@@ -1,0 +1,475 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"viper/internal/acyclic"
+	"viper/internal/history"
+	"viper/internal/sat"
+)
+
+// Outcome is a checking verdict.
+type Outcome uint8
+
+const (
+	// Accept: the history satisfies the checked level (a compatible
+	// acyclic graph exists; Theorem 5).
+	Accept Outcome = iota
+	// Reject: no compatible acyclic graph exists.
+	Reject
+	// Timeout: the time budget expired before a verdict.
+	Timeout
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Accept:
+		return "accept"
+	case Reject:
+		return "reject"
+	default:
+		return "timeout"
+	}
+}
+
+// PhaseTimings decomposes checking time like Figure 10 of the paper.
+// (Parsing is measured by the caller that loads the history.)
+type PhaseTimings struct {
+	Construct time.Duration // building the BC-polygraph
+	Encode    time.Duration // emitting SMT clauses (summed over attempts)
+	Solve     time.Duration // SAT+theory solving (summed over attempts)
+}
+
+// Report is the result of a check.
+type Report struct {
+	Outcome Outcome
+	Level   Level
+
+	// Graph statistics.
+	Nodes       int
+	KnownEdges  int
+	Constraints int // constraints in the polygraph (before pruning)
+
+	// Final-attempt statistics.
+	PrunedConstraints int // constraints resolved by heuristic pruning
+	HeuristicEdges    int
+	EdgeVars          int
+	Retries           int // pruning retries (k doublings)
+	FinalK            int // 0 means no heuristic was in force
+
+	Phases PhaseTimings
+	Solver sat.Stats
+
+	// KnownCycle, when non-nil, is a cycle already present in the known
+	// graph (a rejection that needs no solving), as diagnostic evidence.
+	KnownCycle []KnownEdge
+
+	// WitnessPositions, on Accept, assigns each node a position in a valid
+	// total order of begins/commits (the ŝ of Theorem 4): a schedule
+	// witnessing SI. Indexed by node id; auxiliary nodes included.
+	WitnessPositions []int32
+
+	// WitnessVerified is set when Options.SelfCheck successfully replayed
+	// the witness schedule; SelfCheckErr records a replay failure (which
+	// would indicate a checker bug).
+	WitnessVerified bool
+	SelfCheckErr    error
+}
+
+// selfCheck replays the witness if requested.
+func (rep *Report) selfCheck(pg *Polygraph, opts Options) {
+	if !opts.SelfCheck || rep.Outcome != Accept || rep.WitnessPositions == nil {
+		return
+	}
+	if err := VerifyWitness(pg.H, rep.WitnessPositions, pg.Level); err != nil {
+		rep.SelfCheckErr = err
+		return
+	}
+	rep.WitnessVerified = true
+}
+
+// CheckHistory builds the BC-polygraph of a validated history and checks
+// it, populating construction timing (the CheckSI procedure of Figure 4).
+func CheckHistory(h *history.History, opts Options) *Report {
+	if opts.Level == ReadCommitted {
+		return checkReadCommitted(h)
+	}
+	start := time.Now()
+	pg := Build(h, opts)
+	construct := time.Since(start)
+	rep := CheckPolygraph(pg, opts)
+	rep.Phases.Construct = construct
+	return rep
+}
+
+// CheckPolygraph decides whether the polygraph is acyclic (Definition 3) —
+// equivalently whether the history meets the level (Theorem 5) — using
+// MonoSAT-style solving with heuristic pruning and retry (§3.5).
+func CheckPolygraph(pg *Polygraph, opts Options) *Report {
+	rep := &Report{
+		Level:       pg.Level,
+		Nodes:       int(pg.NumNodes),
+		KnownEdges:  len(pg.Known),
+		Constraints: len(pg.Cons),
+	}
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+
+	if pg.Contradiction {
+		rep.Outcome = Reject
+		return rep
+	}
+
+	// Topologically sort the known graph. A cycle here is a rejection with
+	// direct evidence; otherwise the order seeds heuristic pruning.
+	out := make([][]int32, pg.NumNodes)
+	for _, ke := range pg.Known {
+		out[ke.From] = append(out[ke.From], ke.To)
+	}
+	order, ok := acyclic.TopoPriority(int(pg.NumNodes), out, func(a, b int32) bool {
+		if pg.nodeTS[a] != pg.nodeTS[b] {
+			return pg.nodeTS[a] < pg.nodeTS[b]
+		}
+		return a < b
+	})
+	if !ok {
+		rep.Outcome = Reject
+		rep.KnownCycle = pg.knownCycle(out)
+		return rep
+	}
+
+	// Constraint-free fast path (write order fully known — e.g. the
+	// list-append workload, §7.1): the BC-polygraph is a BC-graph and the
+	// successful topological sort already proves acyclicity.
+	if len(pg.Cons) == 0 {
+		rep.Outcome = Accept
+		rep.WitnessPositions = positionsOf(order)
+		rep.selfCheck(pg, opts)
+		return rep
+	}
+
+	pos := positionsOf(order)
+
+	k := opts.initialK()
+	useHeuristic := !opts.DisablePruning
+	if !useHeuristic {
+		k = 0
+	}
+	for {
+		res := pg.attempt(opts, rep, pos, k, deadline)
+		switch res {
+		case sat.Sat:
+			rep.Outcome = Accept
+			rep.FinalK = k
+			rep.selfCheck(pg, opts)
+			return rep
+		case sat.Unknown:
+			rep.Outcome = Timeout
+			return rep
+		}
+		// Unsat: exact if no heuristic was in force.
+		if k == 0 {
+			rep.Outcome = Reject
+			return rep
+		}
+		rep.Retries++
+		k *= 2
+		if k >= int(pg.NumNodes) {
+			k = 0 // final, exact attempt
+		}
+	}
+}
+
+// attempt runs one encode+solve round. k > 0 applies heuristic pruning at
+// stride k; k == 0 is exact.
+func (pg *Polygraph) attempt(opts Options, rep *Report, pos []int32, k int, deadline time.Time) sat.Result {
+	encodeStart := time.Now()
+
+	var forced []Edge    // constraint sides resolved by pruning
+	var heuristic []Edge // stride edges
+	cons := pg.Cons
+	if k > 0 {
+		var keep []Constraint
+		violates := func(side []Edge) bool {
+			for _, e := range side {
+				if int(pos[e.From])-int(pos[e.To]) >= k {
+					return true
+				}
+			}
+			return false
+		}
+		for _, c := range cons {
+			fBad, sBad := violates(c.First), violates(c.Second)
+			switch {
+			case fBad && sBad:
+				// Both sides contradict the heuristic order: this attempt
+				// cannot succeed; skip the solver and retry with larger k.
+				rep.Phases.Encode += time.Since(encodeStart)
+				return sat.Unsat
+			case fBad:
+				forced = append(forced, c.Second...)
+			case sBad:
+				forced = append(forced, c.First...)
+			default:
+				keep = append(keep, c)
+			}
+		}
+		rep.PrunedConstraints = len(cons) - len(keep)
+		cons = keep
+		heuristic = pg.heuristicEdges(pos, k)
+		rep.HeuristicEdges = len(heuristic)
+	} else {
+		rep.PrunedConstraints = 0
+		rep.HeuristicEdges = 0
+	}
+
+	n := opts.Portfolio
+	if n < 1 {
+		n = 1
+	}
+	type solveOut struct {
+		res     sat.Result
+		witness []int32
+		stats   sat.Stats
+		vars    int
+		encode  time.Duration
+	}
+	runOne := func(seed int64, interrupts chan<- *sat.Solver) solveOut {
+		encStart := time.Now()
+		s := sat.New()
+		if !deadline.IsZero() {
+			s.SetDeadline(deadline)
+		}
+		if seed > 0 {
+			s.SetRandomSeed(seed)
+		}
+		if interrupts != nil {
+			interrupts <- s
+		}
+
+		var alloc interface {
+			EdgeVar(*sat.Solver, int32, int32) sat.Var
+			InsertConstant(u, v int32) bool
+		}
+		var eager *acyclic.EdgeTheory
+		var lazyTh *acyclic.LazyEdgeTheory
+		if opts.LazyTheory {
+			th := acyclic.NewLazyEdgeTheory(int(pg.NumNodes))
+			s.SetTheory(th)
+			alloc = th
+			lazyTh = th
+		} else {
+			eager = acyclic.NewEdgeTheory(int(pg.NumNodes))
+			// Warm-start the incremental topological order with the
+			// heuristic schedule: the known graph's edges (the bulk of all
+			// insertions) then land in already-consistent positions.
+			eager.SeedOrder(pos)
+			s.SetTheory(eager)
+			alloc = eager
+		}
+		// Edge variables start biased toward their schedule-consistent
+		// polarity: an edge running forward in ŝ is probably present, a
+		// backward one probably absent. Decisions then reproduce ŝ unless
+		// conflicts force otherwise, keeping the search near-linear on
+		// healthy histories and localized on violations.
+		edgeLit := func(e Edge) sat.Lit {
+			v := alloc.EdgeVar(s, e.From, e.To)
+			if !opts.DisablePhaseBias {
+				s.SetPhase(v, pos[e.From] < pos[e.To])
+			}
+			return sat.PosLit(v)
+		}
+
+		// Known, pruning-forced, and heuristic edges are unconditionally
+		// present: they go straight into the theory graph as constants —
+		// no SAT variables, no clauses — so the boolean search ranges only
+		// over the genuinely unknown constraint edges.
+		okSoFar := true
+		for _, ke := range pg.Known {
+			okSoFar = alloc.InsertConstant(ke.From, ke.To) && okSoFar
+		}
+		for _, e := range forced {
+			okSoFar = alloc.InsertConstant(e.From, e.To) && okSoFar
+		}
+		for _, e := range heuristic {
+			okSoFar = alloc.InsertConstant(e.From, e.To) && okSoFar
+		}
+		for _, c := range cons {
+			if len(c.First) == 1 && len(c.Second) == 1 {
+				// The paper's XOR encoding (Figure 4 line 22).
+				okSoFar = s.AddXOR(edgeLit(c.First[0]), edgeLit(c.Second[0])) && okSoFar
+			} else {
+				// Coalesced: one selector implying each side; the selector
+				// is biased toward the side whose edges follow ŝ.
+				sel := s.NewVar()
+				if !opts.DisablePhaseBias {
+					s.SetPhase(sel, sideForward(c.First, pos))
+				}
+				for _, e := range c.First {
+					okSoFar = s.AddClause(sat.NegLit(sel), edgeLit(e)) && okSoFar
+				}
+				for _, e := range c.Second {
+					okSoFar = s.AddClause(sat.PosLit(sel), edgeLit(e)) && okSoFar
+				}
+			}
+		}
+
+		encDur := time.Since(encStart)
+		var res sat.Result
+		if !okSoFar {
+			res = sat.Unsat
+		} else {
+			res = s.Solve()
+		}
+		out := solveOut{res: res, stats: s.Stats, vars: s.NumVars(), encode: encDur}
+		if res == sat.Sat {
+			if eager != nil {
+				w := make([]int32, pg.NumNodes)
+				for n := int32(0); n < pg.NumNodes; n++ {
+					w[n] = eager.Order(n)
+				}
+				out.witness = w
+			} else if lazyTh != nil {
+				// Reconstruct a topological order of the selected graph.
+				adj := make([][]int32, pg.NumNodes)
+				for _, e := range lazyTh.ActiveEdges() {
+					adj[e.From] = append(adj[e.From], e.To)
+				}
+				if order, ok := acyclic.TopoBFS(int(pg.NumNodes), adj, nil); ok {
+					out.witness = positionsOf(order)
+				}
+			}
+		}
+		return out
+	}
+
+	encodeDone := time.Now()
+	rep.Phases.Encode += encodeDone.Sub(encodeStart)
+
+	var win solveOut
+	if n == 1 {
+		win = runOne(0, nil)
+	} else {
+		// Portfolio: differently-seeded solvers race; first verdict wins.
+		results := make(chan solveOut, n)
+		interrupts := make(chan *sat.Solver, n)
+		for i := 0; i < n; i++ {
+			seed := int64(i) // seed 0 = deterministic VSIDS, others random
+			go func() { results <- runOne(seed, interrupts) }()
+		}
+		win = solveOut{res: sat.Unknown}
+		won := false
+		var solvers []*sat.Solver
+		drain := func() {
+			for {
+				select {
+				case sv := <-interrupts:
+					if won {
+						sv.Interrupt()
+					}
+					solvers = append(solvers, sv)
+				default:
+					return
+				}
+			}
+		}
+		for done := 0; done < n; done++ {
+			drain()
+			out := <-results
+			drain()
+			if out.res != sat.Unknown && !won {
+				win = out
+				won = true
+				for _, sv := range solvers {
+					sv.Interrupt()
+				}
+			}
+		}
+	}
+
+	rep.Phases.Encode += win.encode
+	rep.Phases.Solve += time.Since(encodeDone) - win.encode
+	rep.Solver = win.stats
+	rep.EdgeVars = win.vars
+	if win.witness != nil {
+		rep.WitnessPositions = win.witness
+	}
+	return win.res
+}
+
+// sideForward reports whether every edge of a constraint side runs
+// forward in the heuristic order.
+func sideForward(side []Edge, pos []int32) bool {
+	for _, e := range side {
+		if pos[e.From] >= pos[e.To] {
+			return false
+		}
+	}
+	return true
+}
+
+// heuristicEdges returns the §3.5 stride edges: each commit node is
+// assumed to precede the first begin node at least k positions later in
+// the heuristic order ŝ.
+func (pg *Polygraph) heuristicEdges(pos []int32, k int) []Edge {
+	type pb struct {
+		pos  int32
+		node int32
+	}
+	var begins []pb
+	for _, t := range pg.H.Txns[1:] {
+		if !t.Committed() {
+			continue
+		}
+		b := pg.Begin(t.ID)
+		begins = append(begins, pb{pos[b], b})
+	}
+	sort.Slice(begins, func(i, j int) bool { return begins[i].pos < begins[j].pos })
+	var edges []Edge
+	for _, t := range pg.H.Txns[1:] {
+		if !t.Committed() {
+			continue
+		}
+		c := pg.Commit(t.ID)
+		target := pos[c] + int32(k)
+		i := sort.Search(len(begins), func(i int) bool { return begins[i].pos >= target })
+		if i < len(begins) {
+			edges = append(edges, Edge{c, begins[i].node})
+		}
+	}
+	return edges
+}
+
+// knownCycle extracts a cycle of the known graph with edge provenance.
+func (pg *Polygraph) knownCycle(out [][]int32) []KnownEdge {
+	cyc := acyclic.FindCycle(int(pg.NumNodes), out)
+	if cyc == nil {
+		return nil
+	}
+	kinds := make(map[Edge]KnownEdge, len(pg.Known))
+	for _, ke := range pg.Known {
+		kinds[ke.Edge] = ke
+	}
+	edges := make([]KnownEdge, 0, len(cyc))
+	for i := range cyc {
+		e := Edge{cyc[i], cyc[(i+1)%len(cyc)]}
+		if ke, ok := kinds[e]; ok {
+			edges = append(edges, ke)
+		} else {
+			edges = append(edges, KnownEdge{Edge: e})
+		}
+	}
+	return edges
+}
+
+func positionsOf(order []int32) []int32 {
+	pos := make([]int32, len(order))
+	for i, n := range order {
+		pos[n] = int32(i)
+	}
+	return pos
+}

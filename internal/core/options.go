@@ -1,0 +1,137 @@
+// Package core implements the paper's primary contribution: BC-polygraphs
+// (§3) and the SI-checking algorithm built on them (Figure 4), including
+// heuristic pruning (§3.5), range-query support via tombstone semantics
+// (§4), the SI-variant edges (§5), and Cobra's two optimizations adapted
+// to BC-polygraphs (§6).
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Level selects the isolation level to check. The hierarchy (Crooks et
+// al., reproduced in §2.2) is
+//
+//	Strong SI ⊂ Strong Session SI ⊂ GSI ⊂ Adya SI,
+//
+// plus Serializability, which the same machinery checks with one node per
+// transaction instead of a begin/commit pair (§9).
+type Level uint8
+
+const (
+	// AdyaSI is vanilla snapshot isolation under logical timestamps
+	// (Definition 1 without real-time obligations).
+	AdyaSI Level = iota
+	// GSI (Generalized SI) additionally requires reads to observe
+	// transactions that committed in real time before the reader began —
+	// but allows reading from old snapshots.
+	GSI
+	// StrongSessionSI is GSI plus session order: a session always observes
+	// its own previous transactions (≡ Prefix-Consistent SI).
+	StrongSessionSI
+	// StrongSI requires reads from the most recent snapshot in real time.
+	StrongSI
+	// Serializability checks Adya serializability with the transaction-
+	// level polygraph (the paper's §3.4 parallel, and §9's "stricter
+	// levels" extension).
+	Serializability
+	// ReadCommitted checks Adya's PL-2 in polynomial time — §9's "even
+	// weaker isolation levels are easy to check and do not need viper or
+	// BC-polygraphs". Provided for completeness; it bypasses the polygraph
+	// machinery entirely.
+	ReadCommitted
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case AdyaSI:
+		return "adya-si"
+	case GSI:
+		return "gsi"
+	case StrongSessionSI:
+		return "strong-session-si"
+	case StrongSI:
+		return "strong-si"
+	case Serializability:
+		return "serializability"
+	case ReadCommitted:
+		return "read-committed"
+	default:
+		return fmt.Sprintf("Level(%d)", uint8(l))
+	}
+}
+
+// needsRealTime reports whether the level adds real-time edges.
+func (l Level) needsRealTime() bool {
+	return l == GSI || l == StrongSessionSI || l == StrongSI
+}
+
+// Options configure checking. The zero value checks Adya SI with every
+// optimization enabled; use DefaultOptions to get it explicitly.
+type Options struct {
+	// Level is the isolation level to check.
+	Level Level
+
+	// ClockDrift bounds the clock skew between client collectors for the
+	// real-time levels (§5): event i happens-before event j only if j's
+	// timestamp exceeds i's by more than ClockDrift. Under this assumption
+	// real-time checking is complete but not sound (a true violation inside
+	// the drift window is excused).
+	ClockDrift time.Duration
+
+	// DisableCombineWrites turns off write combining (Cobra §3.1 adapted to
+	// BC-polygraphs): inferring known write-dependency chains from
+	// read-modify-write transactions.
+	DisableCombineWrites bool
+
+	// DisableCoalesce turns off constraint coalescing (Cobra §3.2 adapted):
+	// one selector per writer-chain pair instead of per-read XOR
+	// constraints.
+	DisableCoalesce bool
+
+	// DisablePruning turns off heuristic pruning (§3.5).
+	DisablePruning bool
+
+	// InitialK is the initial heuristic-pruning distance; 0 means the
+	// default (128 nodes). On rejection the checker doubles K and retries
+	// until K exceeds the node count (at which point no heuristic is
+	// applied and the answer is exact).
+	InitialK int
+
+	// Timeout bounds total checking time; zero means no limit.
+	Timeout time.Duration
+
+	// LazyTheory switches the acyclicity theory to lazy (full-assignment)
+	// checking instead of eager per-edge cycle detection; an ablation knob.
+	LazyTheory bool
+
+	// DisablePhaseBias turns off schedule-consistent phase initialization
+	// (edge variables start biased toward the polarity the heuristic order
+	// ŝ suggests). With the bias, healthy histories solve with zero
+	// conflicts; an ablation knob.
+	DisablePhaseBias bool
+
+	// Portfolio, when > 1, runs that many differently-seeded solver
+	// instances in parallel for each attempt and takes the first definitive
+	// verdict — the paper's suggested mitigation for the high solver
+	// variance it observes on non-SI histories (§7.3).
+	Portfolio int
+
+	// SelfCheck replays the witness schedule after every Accept
+	// (VerifyWitness, the operational reading of Theorem 4) and records the
+	// outcome in the report. A failed self-check would indicate a checker
+	// bug, never a property of the history.
+	SelfCheck bool
+}
+
+// DefaultOptions returns the recommended configuration for a level.
+func DefaultOptions(l Level) Options { return Options{Level: l} }
+
+func (o *Options) initialK() int {
+	if o.InitialK > 0 {
+		return o.InitialK
+	}
+	return 128
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"viper/internal/acyclic"
+	"viper/internal/history"
+)
+
+// checkReadCommitted decides Read Committed (Adya's PL-2) in polynomial
+// time — the §9 observation that levels below SI "do not need viper or
+// BC-polygraphs". PL-2 proscribes:
+//
+//   - G1a, reads of aborted writes — already rejected by history
+//     validation before this code runs;
+//   - G1b, intermediate reads: observing a committed transaction's
+//     non-final write of a key;
+//   - G1c, cyclic information flow: a cycle of read dependencies
+//     (write dependencies are unknown in the black-box setting, but any
+//     wr-cycle alone already violates PL-2).
+//
+// No solving is involved: G1b is a linear scan and G1c a DFS over the
+// read-dependency graph.
+func checkReadCommitted(h *history.History) *Report {
+	rep := &Report{Level: ReadCommitted, Outcome: Accept}
+
+	// G1b: a read observing a committed transaction's intermediate write.
+	for _, t := range h.Txns[1:] {
+		if !t.Committed() {
+			continue
+		}
+		bad := false
+		t.ExternalReads(func(key history.Key, obs history.WriteID) {
+			if bad || obs == history.GenesisWriteID {
+				return
+			}
+			ref, ok := h.WriterOf(obs)
+			if !ok || ref.Txn == history.GenesisID {
+				return
+			}
+			writer := h.Txns[ref.Txn]
+			if last, wrote := writer.LastWritePerKey()[key]; wrote && last != ref.Op {
+				bad = true
+			}
+		})
+		if bad {
+			rep.Outcome = Reject
+			return rep
+		}
+	}
+
+	// G1c: cycles of read dependencies. Build the wr graph over
+	// transactions and look for a cycle.
+	out := make([][]int32, len(h.Txns))
+	edgeKey := make(map[Edge]history.Key)
+	for _, t := range h.Txns[1:] {
+		if !t.Committed() {
+			continue
+		}
+		t.ExternalReads(func(key history.Key, obs history.WriteID) {
+			ref, ok := h.WriterOf(obs)
+			if !ok || ref.Txn == history.GenesisID || ref.Txn == t.ID {
+				return
+			}
+			e := Edge{int32(ref.Txn), int32(t.ID)}
+			if _, dup := edgeKey[e]; !dup {
+				edgeKey[e] = key
+				out[e.From] = append(out[e.From], e.To)
+			}
+		})
+	}
+	rep.Nodes = len(h.Txns)
+	rep.KnownEdges = len(edgeKey)
+	if cyc := acyclic.FindCycle(len(h.Txns), out); cyc != nil {
+		rep.Outcome = Reject
+		for i := range cyc {
+			e := Edge{cyc[i], cyc[(i+1)%len(cyc)]}
+			rep.KnownCycle = append(rep.KnownCycle, KnownEdge{Edge: e, Kind: EdgeWR, Key: edgeKey[e]})
+		}
+	}
+	return rep
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"sort"
+
+	"viper/internal/history"
+)
+
+// addRealTimeEdges encodes the bounded-clock-drift happens-before relation
+// of the real-time SI variants (§5):
+//
+//   - GSI and Strong Session SI: edges from begins/commits to commits —
+//     a transaction must read from transactions that committed, in real
+//     time, before it began, but may read old snapshots.
+//   - Strong SI: additionally commit→begin edges — reads must observe the
+//     most recent snapshot. Begin→begin pairs are never ordered.
+//
+// Event i happens-before event j iff ts(j) − ts(i) > ClockDrift. Rather
+// than materializing the O(n²) pairs, the relation is compressed with
+// suffix-chain auxiliary nodes: aux node Aⱼ stands for "every commit with
+// sorted index ≥ j" via edges Aⱼ→Cⱼ and Aⱼ→Aⱼ₊₁, so a single edge
+// e→Aⱼ orders e before the entire suffix. A symmetric chain over begins
+// serves Strong SI's commit→begin obligations. Auxiliary nodes are
+// pass-throughs: any cycle through them corresponds to a genuine
+// happens-before violation.
+func (pg *Polygraph) addRealTimeEdges(opts Options) {
+	h := pg.H
+	drift := opts.ClockDrift.Nanoseconds()
+
+	type ev struct {
+		ts  int64
+		txn history.TxnID
+	}
+	var commits, begins []ev
+	for _, t := range h.Txns[1:] {
+		if !t.Committed() {
+			continue
+		}
+		commits = append(commits, ev{t.CommitAt, t.ID})
+		begins = append(begins, ev{t.BeginAt, t.ID})
+	}
+	if len(commits) == 0 {
+		return
+	}
+	byTS := func(s []ev) func(i, j int) bool {
+		return func(i, j int) bool {
+			if s[i].ts != s[j].ts {
+				return s[i].ts < s[j].ts
+			}
+			return s[i].txn < s[j].txn
+		}
+	}
+	sort.Slice(commits, byTS(commits))
+	sort.Slice(begins, byTS(begins))
+
+	newAux := func(ts int64) int32 {
+		id := pg.NumNodes
+		pg.NumNodes++
+		pg.nodeTS = append(pg.nodeTS, ts)
+		return id
+	}
+
+	// Commit-suffix chain.
+	cAux := make([]int32, len(commits))
+	for j := range commits {
+		cAux[j] = newAux(commits[j].ts)
+	}
+	for j := range commits {
+		pg.addKnown(Edge{cAux[j], pg.Commit(commits[j].txn)}, EdgeRealTime, "")
+		if j+1 < len(commits) {
+			pg.addKnown(Edge{cAux[j], cAux[j+1]}, EdgeRealTime, "")
+		}
+	}
+	firstCommitAfter := func(x int64) int {
+		return sort.Search(len(commits), func(i int) bool { return commits[i].ts > x })
+	}
+
+	// Every begin and commit is ordered before all commits more than a
+	// drift later.
+	for _, t := range h.Txns[1:] {
+		if !t.Committed() {
+			continue
+		}
+		for _, src := range [2]struct {
+			ts   int64
+			node int32
+		}{
+			{t.BeginAt, pg.Begin(t.ID)},
+			{t.CommitAt, pg.Commit(t.ID)},
+		} {
+			if j := firstCommitAfter(src.ts + drift); j < len(commits) {
+				pg.addKnown(Edge{src.node, cAux[j]}, EdgeRealTime, "")
+			}
+		}
+	}
+
+	if opts.Level != StrongSI {
+		return
+	}
+
+	// Begin-suffix chain: commits are ordered before all begins more than
+	// a drift later (most-recent-snapshot reads).
+	bAux := make([]int32, len(begins))
+	for j := range begins {
+		bAux[j] = newAux(begins[j].ts)
+	}
+	for j := range begins {
+		pg.addKnown(Edge{bAux[j], pg.Begin(begins[j].txn)}, EdgeRealTime, "")
+		if j+1 < len(begins) {
+			pg.addKnown(Edge{bAux[j], bAux[j+1]}, EdgeRealTime, "")
+		}
+	}
+	firstBeginAfter := func(x int64) int {
+		return sort.Search(len(begins), func(i int) bool { return begins[i].ts > x })
+	}
+	for _, t := range h.Txns[1:] {
+		if !t.Committed() {
+			continue
+		}
+		if j := firstBeginAfter(t.CommitAt + drift); j < len(begins) {
+			pg.addKnown(Edge{pg.Commit(t.ID), bAux[j]}, EdgeRealTime, "")
+		}
+	}
+}

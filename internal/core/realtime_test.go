@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"viper/internal/history"
+)
+
+// randomTimedHistory builds committed transactions with random (possibly
+// colliding) begin/commit timestamps.
+func randomTimedHistory(rng *rand.Rand, n int) *history.History {
+	h := history.New()
+	for i := 0; i < n; i++ {
+		b := rng.Int63n(1000)
+		c := b + 1 + rng.Int63n(1000)
+		h.Append(&history.Txn{
+			Session: int32(i),
+			BeginAt: b, CommitAt: c,
+			Ops: []history.Op{{Kind: history.OpWrite, Key: "k", WriteID: history.WriteID(i + 1)}},
+		})
+	}
+	if err := h.Validate(); err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// rtReach computes reachability over the polygraph's real-time edges only.
+func rtReach(pg *Polygraph) func(a, b int32) bool {
+	out := make([][]int32, pg.NumNodes)
+	for _, ke := range pg.Known {
+		if ke.Kind == EdgeRealTime {
+			out[ke.From] = append(out[ke.From], ke.To)
+		}
+	}
+	return func(a, b int32) bool {
+		if a == b {
+			return false
+		}
+		seen := make([]bool, pg.NumNodes)
+		queue := []int32{a}
+		seen[a] = true
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, w := range out[n] {
+				if w == b {
+					return true
+				}
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		return false
+	}
+}
+
+// TestRealTimeCompressionExact checks that the O(n)-edge suffix-chain
+// compression encodes exactly the bounded-drift happens-before relation:
+// for every allowed event pair, hb(e,f) iff f is reachable from e over
+// real-time edges; and reachability never runs backward in time.
+func TestRealTimeCompressionExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 25; iter++ {
+		n := 2 + rng.Intn(10)
+		h := randomTimedHistory(rng, n)
+		drift := time.Duration(rng.Int63n(500))
+		for _, level := range []Level{GSI, StrongSI} {
+			pg := Build(h, Options{Level: level, ClockDrift: drift})
+			reach := rtReach(pg)
+			type ev struct {
+				node   int32
+				ts     int64
+				commit bool
+			}
+			var events []ev
+			for _, tx := range h.Txns[1:] {
+				events = append(events,
+					ev{pg.Begin(tx.ID), tx.BeginAt, false},
+					ev{pg.Commit(tx.ID), tx.CommitAt, true})
+			}
+			for _, e := range events {
+				for _, f := range events {
+					if e.node == f.node {
+						continue
+					}
+					hb := f.ts-e.ts > drift.Nanoseconds()
+					allowed := f.commit // all levels order */→commit
+					if level == StrongSI && e.commit {
+						allowed = true // commits also order before begins
+					}
+					got := reach(e.node, f.node)
+					if hb && allowed && !got {
+						t.Fatalf("iter %d level %v drift %v: hb pair %d(ts%d)→%d(ts%d) not reachable",
+							iter, level, drift, e.node, e.ts, f.node, f.ts)
+					}
+					if got && f.ts <= e.ts {
+						t.Fatalf("iter %d level %v: spurious backward real-time path %d(ts%d)→%d(ts%d)",
+							iter, level, e.node, e.ts, f.node, f.ts)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRealTimeEdgesLinear checks the compression stays O(n): the number
+// of real-time edges must grow linearly, not quadratically.
+func TestRealTimeEdgesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	count := func(n int) int {
+		h := randomTimedHistory(rng, n)
+		pg := Build(h, Options{Level: StrongSI})
+		c := 0
+		for _, ke := range pg.Known {
+			if ke.Kind == EdgeRealTime {
+				c++
+			}
+		}
+		return c
+	}
+	c100, c400 := count(100), count(400)
+	if c400 > c100*8 { // linear would be ~4×; quadratic ~16×
+		t.Fatalf("real-time edges scale superlinearly: %d @100 vs %d @400", c100, c400)
+	}
+}
+
+// TestAdyaSIIgnoresTimestamps: with wildly drifting clocks, Adya SI (a
+// logical-time level) must not care.
+func TestAdyaSIIgnoresTimestamps(t *testing.T) {
+	b := history.NewBuilder()
+	s1, s2 := b.Session(), b.Session()
+	widX := b.NextWriteID()
+	t2 := s2.Txn().At(1_000_000) // "begins" far in the future
+	s1.Txn().At(1).Write("x").CommitAt(2)
+	t2.ReadObserved("x", widX).CommitAt(1_000_001)
+	h := b.MustHistory()
+	pg := Build(h, Options{Level: AdyaSI})
+	for _, ke := range pg.Known {
+		if ke.Kind == EdgeRealTime {
+			t.Fatal("AdyaSI polygraph contains real-time edges")
+		}
+	}
+}

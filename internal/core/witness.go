@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"viper/internal/history"
+)
+
+// VerifyWitness replays an accepting schedule and confirms it reproduces
+// the history — the operational reading of Theorem 4 (§3.4): a history is
+// SI iff there is a total order ŝ of begins and commits such that executing
+// each begin with all of its transaction's reads and each commit with all
+// of its writes, sequentially in ŝ order, reproduces every observed value.
+//
+// positions assigns each polygraph node its position in ŝ (the checker's
+// Report.WitnessPositions). VerifyWitness returns nil if the replay
+// reproduces the history, and a descriptive error otherwise — a non-nil
+// error after an Accept would mean a checker bug, so this is viper's
+// built-in self-check (Options.SelfCheck).
+//
+// Only the logical-time semantics are replayed; real-time and session
+// obligations are edges in the polygraph and are already honoured by any
+// topological witness.
+func VerifyWitness(h *history.History, positions []int32, level Level) error {
+	if positions == nil {
+		return fmt.Errorf("witness: no positions")
+	}
+	// Collect committed transactions' begin/commit events with their
+	// scheduled positions. The Serializability mapping collapses begin and
+	// commit to one node; replaying reads-then-writes at that single
+	// position is exactly serial execution, so the same replay works.
+	type event struct {
+		pos    int32
+		txn    history.TxnID
+		commit bool
+	}
+	ser := level == Serializability
+	var events []event
+	for _, t := range h.Txns[1:] {
+		if !t.Committed() {
+			continue
+		}
+		if ser {
+			if int(t.ID) >= len(positions) {
+				return fmt.Errorf("witness: missing position for txn %d", t.ID)
+			}
+			events = append(events, event{positions[t.ID], t.ID, false})
+			continue
+		}
+		b, c := int32(t.ID)*2, int32(t.ID)*2+1
+		if int(c) >= len(positions) {
+			return fmt.Errorf("witness: missing positions for txn %d", t.ID)
+		}
+		events = append(events, event{positions[b], t.ID, false}, event{positions[c], t.ID, true})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	// Replay: current holds each key's latest committed write id.
+	current := make(map[history.Key]history.WriteID)
+	readAt := func(t *history.Txn) error {
+		var fail error
+		t.ExternalReads(func(key history.Key, obs history.WriteID) {
+			if fail != nil {
+				return
+			}
+			if cur := current[key]; cur != obs {
+				fail = fmt.Errorf("witness: txn %d reads %q=%d, but schedule has %d current",
+					t.ID, key, obs, cur)
+			}
+		})
+		if fail != nil {
+			return fail
+		}
+		// Range queries: non-returned written keys must currently be at
+		// their initial version (ExternalReads covers returned entries).
+		for i := range t.Ops {
+			op := &t.Ops[i]
+			if op.Kind != history.OpRange {
+				continue
+			}
+			returned := make(map[history.Key]bool, len(op.Result))
+			for _, v := range op.Result {
+				returned[v.Key] = true
+			}
+			for _, k := range h.KeysInRange(op.Lo, op.Hi) {
+				if !returned[k] && current[k] != history.GenesisWriteID {
+					return fmt.Errorf("witness: txn %d range [%q,%q] misses %q (current %d)",
+						t.ID, op.Lo, op.Hi, k, current[k])
+				}
+			}
+		}
+		return nil
+	}
+	writeAt := func(t *history.Txn) {
+		for key, opIdx := range t.LastWritePerKey() {
+			current[key] = t.Ops[opIdx].WriteID
+		}
+	}
+
+	for _, ev := range events {
+		t := h.Txns[ev.txn]
+		if ser {
+			// One event per transaction: reads then writes.
+			if err := readAt(t); err != nil {
+				return err
+			}
+			writeAt(t)
+			continue
+		}
+		if ev.commit {
+			writeAt(t)
+		} else if err := readAt(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

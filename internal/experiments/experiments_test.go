@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// small returns a laptop-test scale configuration.
+func small() Config {
+	return Config{Clients: 6, Timeout: 20 * time.Second, Seed: 1, Trials: 1}
+}
+
+func render(t *testing.T, tab *Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	return buf.String()
+}
+
+func TestFig8SmallScale(t *testing.T) {
+	cfg := small()
+	cfg.Sizes = []int{30, 60}
+	tab, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 || len(tab.Rows[0]) != 6 {
+		t.Fatalf("table shape %dx%d", len(tab.Rows), len(tab.Rows[0]))
+	}
+	// Viper must accept (no "reject"/"TO") at these sizes.
+	for _, row := range tab.Rows {
+		if strings.Contains(row[1], "reject") || row[1] == "TO" {
+			t.Fatalf("viper cell = %q", row[1])
+		}
+	}
+	out := render(t, tab)
+	if !strings.Contains(out, "fig8") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestFig9LinearPath(t *testing.T) {
+	cfg := small()
+	cfg.Sizes = []int{80, 160}
+	tab, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		// Append histories have no constraints: column 4.
+		if row[3] != "0" {
+			t.Fatalf("append history has %s constraints", row[3])
+		}
+		if strings.Contains(row[1], "reject") || strings.Contains(row[2], "reject") {
+			t.Fatalf("rejected a valid append history: %v", row)
+		}
+	}
+}
+
+func TestFig10Decomposition(t *testing.T) {
+	cfg := small()
+	cfg.Sizes = []int{100}
+	tab, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("expected 8 benchmarks, got %d", len(tab.Rows))
+	}
+	names := map[string]bool{}
+	for _, row := range tab.Rows {
+		names[row[0]] = true
+	}
+	for _, want := range []string{"C-Twitter", "BlindW-RM", "C-TPCC", "Range-IDH", "BlindW-RW", "C-RUBiS", "Range-RQH", "Range-B"} {
+		if !names[want] {
+			t.Fatalf("missing benchmark %s (have %v)", want, names)
+		}
+	}
+}
+
+func TestFig11Ablation(t *testing.T) {
+	cfg := small()
+	cfg.Sizes = []int{80}
+	tab, err := Fig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		for _, c := range row[1:] {
+			if strings.Contains(c, "reject") {
+				t.Fatalf("ablation rejected an SI history: %v", row)
+			}
+		}
+	}
+}
+
+func TestFig12Concurrency(t *testing.T) {
+	cfg := small()
+	cfg.Sizes = []int{40, 80}
+	tab, err := Fig12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d (one per concurrency level)", len(tab.Rows))
+	}
+	// Largest-size column carries constraint counts in parentheses.
+	if !strings.Contains(tab.Rows[0][2], "(") {
+		t.Fatalf("no constraint annotation: %q", tab.Rows[0][2])
+	}
+}
+
+func TestFig13PruningOnBaselines(t *testing.T) {
+	cfg := small()
+	cfg.Sizes = []int{20}
+	tab, err := Fig13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, c := range tab.Rows[0][2:] {
+		if strings.Contains(c, "reject") {
+			t.Fatalf("baseline rejected an SI history: %v", tab.Rows[0])
+		}
+	}
+}
+
+func TestFig14AllViolationsRejected(t *testing.T) {
+	cfg := small()
+	cfg.Sizes = []int{300} // scales the paper's sizes down proportionally
+	tab, err := Fig14(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[3] != "reject" {
+			t.Fatalf("%s not rejected: %v", row[0], row)
+		}
+	}
+}
+
+func TestFig15ElleMissesWhatViperCatches(t *testing.T) {
+	cfg := small()
+	cfg.Sizes = []int{60}
+	tab, err := Fig15(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if !strings.Contains(row[3], "reject") {
+			t.Fatalf("viper failed to reject %s: %v", row[1], row)
+		}
+		switch row[1] {
+		case "G1c: cyclic information flow":
+			if !strings.Contains(row[2], "reject") {
+				t.Fatalf("Elle should detect G1c: %v", row)
+			}
+		case "long-fork", "G-SIb":
+			if !strings.Contains(row[2], "accept") {
+				t.Fatalf("Elle-inferred should (unsoundly) accept %s: %v", row[1], row)
+			}
+		}
+	}
+}
+
+func TestAllAndOrderConsistent(t *testing.T) {
+	all := All()
+	for _, name := range Order() {
+		if all[name] == nil {
+			t.Fatalf("experiment %s missing from All()", name)
+		}
+	}
+	if len(all) != len(Order()) {
+		t.Fatalf("All has %d entries, Order %d", len(all), len(Order()))
+	}
+}
+
+func TestTableFprintAlignment(t *testing.T) {
+	tab := &Table{Name: "x", Title: "t", Header: []string{"a", "bbbb"}, Rows: [][]string{{"ccccc", "d"}}}
+	out := render(t, tab)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "a      bbbb") {
+		t.Fatalf("header misaligned: %q", lines[1])
+	}
+}

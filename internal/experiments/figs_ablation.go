@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"viper/internal/anomaly"
+	"viper/internal/baseline"
+	"viper/internal/core"
+	"viper/internal/runner"
+	"viper/internal/workload"
+)
+
+// Fig11 is the optimization ablation: viper, viper without heuristic
+// pruning ("w/o P"), and viper without pruning or Cobra's optimizations
+// ("w/o PO"), on the four benchmarks the paper uses. Expected shape: no
+// one-optimization-fits-all — pruning matters most for RUBiS-like
+// contention, combining writes for TPC-C, and C-Twitter is easy either
+// way.
+func Fig11(cfg Config) (*Table, error) {
+	t := &Table{
+		Name:   "fig11",
+		Title:  "ablation of viper optimizations (seconds; TO = timeout)",
+		Header: []string{"benchmark", "Viper", "Viper w/o P", "Viper w/o PO"},
+	}
+	variants := []core.Options{
+		{Level: core.AdyaSI},
+		{Level: core.AdyaSI, DisablePruning: true},
+		{Level: core.AdyaSI, DisablePruning: true, DisableCombineWrites: true, DisableCoalesce: true},
+	}
+	gens := []workload.Generator{
+		workload.NewTwitter(1000),
+		workload.NewBlindWRM(),
+		workload.NewTPCC(3000),
+		workload.NewRUBiS(20000, 80000),
+	}
+	size := 5000
+	if s := cfg.sizes(nil); len(s) > 0 {
+		size = s[0]
+	}
+	for _, gen := range gens {
+		h, err := genHistory(gen, size, cfg, 11)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{gen.Name()}
+		for _, opts := range variants {
+			v := &baseline.Viper{Opts: opts}
+			row = append(row, cell(v.Check(h, cfg.timeout())))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig12 varies client-side concurrency for BlindW-RW at several history
+// sizes, reporting runtime and the number of constraints. Expected shape:
+// flat for smaller histories; for the largest size runtime falls as
+// concurrency rises, because contention aborts more transactions and the
+// polygraph carries fewer constraints (the paper's parenthesized counts).
+func Fig12(cfg Config) (*Table, error) {
+	t := &Table{
+		Name:   "fig12",
+		Title:  "viper runtime vs client concurrency, BlindW-RW (seconds; constraints in parens for the largest size)",
+		Header: []string{"clients"},
+	}
+	sizes := cfg.sizes([]int{2000, 5000, 8000})
+	for _, s := range sizes {
+		t.Header = append(t.Header, fmt.Sprintf("%dk-txns", s/1000))
+	}
+	largest := sizes[len(sizes)-1]
+	for _, clients := range []int{8, 16, 24, 32, 40, 48, 56, 64} {
+		row := []string{fmt.Sprint(clients)}
+		for _, size := range sizes {
+			h, _, err := runner.Run(workload.NewBlindWRW(), runner.Config{
+				Clients: clients, Txns: size, Seed: cfg.Seed + int64(clients*100000+size),
+			})
+			if err != nil {
+				return nil, err
+			}
+			v := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI}}
+			res := v.Check(h, cfg.timeout())
+			c := cell(res)
+			if size == largest {
+				c = fmt.Sprintf("%s (%d)", c, v.LastReport.Constraints)
+			}
+			row = append(row, c)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig13 applies heuristic pruning to the two rule-based baselines on
+// small BlindW-RW histories, several trials each. Expected shape: pruning
+// barely helps them (the constraints are too many and too tangled for the
+// distance heuristic to bite), unlike viper where it is decisive.
+func Fig13(cfg Config) (*Table, error) {
+	t := &Table{
+		Name:   "fig13",
+		Title:  "heuristic pruning applied to the rule-based baselines, BlindW-RW (seconds; TO = timeout)",
+		Header: []string{"#txns", "trial", "GSI+SAT", "GSI+SAT+P", "ASI+SAT", "ASI+SAT+P"},
+	}
+	checkers := []baseline.Checker{
+		&baseline.GSISat{},
+		&baseline.GSISat{Pruning: true},
+		&baseline.ASISat{},
+		&baseline.ASISat{Pruning: true},
+	}
+	for _, size := range cfg.sizes([]int{100, 200, 400}) {
+		for trial := 1; trial <= cfg.trials(); trial++ {
+			h, err := genHistory(workload.NewBlindWRW(), size, cfg, int64(size*10+trial))
+			if err != nil {
+				return nil, err
+			}
+			row := []string{fmt.Sprint(size), fmt.Sprint(trial)}
+			for _, c := range checkers {
+				row = append(row, cell(c.Check(h, cfg.timeout())))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// fig14Cases mirrors the paper's Figure 14 rows: violation class, the
+// database the Jepsen report concerned, and the history size at which the
+// violation was observed.
+func fig14Cases() []struct {
+	Kind anomaly.Kind
+	DB   string
+	Txns int
+} {
+	return []struct {
+		Kind anomaly.Kind
+		DB   string
+		Txns int
+	}{
+		{anomaly.LostUpdate, "MongoDB 4.2.6", 23200},
+		{anomaly.AbortedRead, "MongoDB 4.2.6", 2200},
+		{anomaly.G1c, "MongoDB 4.2.6", 1100},
+		{anomaly.ReadYourFutureWrites, "MongoDB 4.2.6", 4600},
+		{anomaly.ReadSkew, "TiDB 2.1.7", 9300},
+	}
+}
+
+// Fig14 reconstructs the real-world violation classes at the paper's
+// history sizes and measures detection time. Expected shape: every class
+// rejected, each within seconds.
+func Fig14(cfg Config) (*Table, error) {
+	t := &Table{
+		Name:   "fig14",
+		Title:  "real-world SI violation classes (reconstructed; all must be rejected)",
+		Header: []string{"violation", "database", "#txns", "verdict", "time(s)"},
+	}
+	scale := 1.0
+	if s := cfg.sizes(nil); len(s) > 0 {
+		scale = float64(s[0]) / 23200.0 // scale all rows proportionally
+	}
+	for _, c := range fig14Cases() {
+		size := int(float64(c.Txns) * scale)
+		if size < 10 {
+			size = 10
+		}
+		h, err := genHistory(workload.NewBlindWRW(), size, cfg, int64(size))
+		if err != nil {
+			return nil, err
+		}
+		anomaly.Inject(h, c.Kind)
+		// Re-validate: the paper's checker rejects validation-level
+		// violations (aborted reads, future reads) during parsing.
+		start := time.Now()
+		var verdict string
+		var elapsed time.Duration
+		if err := h.Validate(); err != nil {
+			verdict, elapsed = "reject", time.Since(start)
+		} else {
+			v := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI}}
+			res := v.Check(h, cfg.timeout())
+			verdict, elapsed = res.Outcome.String(), res.Elapsed
+		}
+		t.Rows = append(t.Rows, []string{
+			c.Kind.String(), c.DB, fmt.Sprint(size), verdict, secs(elapsed),
+		})
+	}
+	return t, nil
+}
+
+// Fig15 injects the synthetic anomalies into BlindW-RW histories and
+// compares viper with Elle's inferred (register) mode. Expected shape:
+// viper rejects all three; Elle detects G1c but accepts long-fork and
+// G-SIb because they hide behind its guessed write order.
+func Fig15(cfg Config) (*Table, error) {
+	t := &Table{
+		Name:   "fig15",
+		Title:  "synthetic anomalies: Elle (inferred mode) vs viper (seconds, verdict)",
+		Header: []string{"#txns", "anomaly", "Elle", "Viper"},
+	}
+	kinds := []anomaly.Kind{anomaly.G1c, anomaly.LongFork, anomaly.GSIb}
+	for _, size := range cfg.sizes([]int{2000, 5000}) {
+		for _, kind := range kinds {
+			h, err := genHistory(workload.NewBlindWRW(), size, cfg, int64(size)+int64(kind))
+			if err != nil {
+				return nil, err
+			}
+			anomaly.Inject(h, kind)
+			if err := h.Validate(); err != nil {
+				return nil, err
+			}
+			elle := &baseline.Elle{Mode: baseline.ElleInferred}
+			re := elle.Check(h, cfg.timeout())
+			v := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI}}
+			rv := v.Check(h, cfg.timeout())
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(size), kind.String(),
+				fmt.Sprintf("%s (%s)", secs(re.Elapsed), re.Outcome),
+				fmt.Sprintf("%s (%s)", secs(rv.Elapsed), rv.Outcome),
+			})
+		}
+	}
+	return t, nil
+}
+
+// All maps experiment names to their functions.
+func All() map[string]func(Config) (*Table, error) {
+	return map[string]func(Config) (*Table, error){
+		"fig8":  Fig8,
+		"fig9":  Fig9,
+		"fig10": Fig10,
+		"fig11": Fig11,
+		"fig12": Fig12,
+		"fig13": Fig13,
+		"fig14": Fig14,
+		"fig15": Fig15,
+	}
+}
+
+// Order lists experiments in paper order.
+func Order() []string {
+	return []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"}
+}

@@ -1,0 +1,80 @@
+package histgen
+
+import (
+	"testing"
+
+	"viper/internal/anomaly"
+	"viper/internal/core"
+	"viper/internal/oracle"
+)
+
+func TestGeneratedHistoriesAreSIByConstruction(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		h := SI(Spec{Txns: 150, Keys: 6, MaxConcurrency: 5, AbortEvery: 7, Seed: seed})
+		for _, level := range []core.Level{core.AdyaSI, core.GSI, core.StrongSessionSI, core.StrongSI} {
+			rep := core.CheckHistory(h, core.Options{Level: level})
+			if rep.Outcome != core.Accept {
+				t.Fatalf("seed %d level %v: %v", seed, level, rep.Outcome)
+			}
+		}
+	}
+}
+
+func TestGeneratedTinyHistoriesAgreeWithOracle(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		h := SI(Spec{Txns: 5, Keys: 3, MaxConcurrency: 3, Seed: seed})
+		if !oracle.IsSI(h) {
+			t.Fatalf("seed %d: oracle says generated history is not SI", seed)
+		}
+	}
+}
+
+func TestGeneratedPlusAnomalyRejected(t *testing.T) {
+	h := SI(Spec{Txns: 80, Seed: 3})
+	anomaly.Inject(h, anomaly.LongFork)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rep := core.CheckHistory(h, core.Options{Level: core.AdyaSI})
+	if rep.Outcome != core.Reject {
+		t.Fatalf("outcome = %v", rep.Outcome)
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	h := SI(Spec{Seed: 1})
+	if h.Len() != 100 {
+		t.Fatalf("default Txns: got %d", h.Len())
+	}
+	st := h.ComputeStats()
+	if st.Sessions == 0 || st.Sessions > 4 {
+		t.Fatalf("sessions = %d, want ≤ default concurrency", st.Sessions)
+	}
+}
+
+func TestConflictAbortsHappen(t *testing.T) {
+	// High contention: few keys, high concurrency — first-committer-wins
+	// must doom some transactions.
+	h := SI(Spec{Txns: 300, Keys: 2, MaxConcurrency: 6, WritesPerTxn: 2, Seed: 5})
+	st := h.ComputeStats()
+	if st.Aborted == 0 {
+		t.Fatal("no conflict aborts under heavy contention")
+	}
+	rep := core.CheckHistory(h, core.Options{Level: core.StrongSI})
+	if rep.Outcome != core.Accept {
+		t.Fatalf("outcome = %v", rep.Outcome)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := SI(Spec{Txns: 50, Seed: 9})
+	b := SI(Spec{Txns: 50, Seed: 9})
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := 1; i < len(a.Txns); i++ {
+		if len(a.Txns[i].Ops) != len(b.Txns[i].Ops) {
+			t.Fatalf("txn %d differs", i)
+		}
+	}
+}

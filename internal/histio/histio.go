@@ -1,0 +1,195 @@
+// Package histio persists histories as JSON-lines logs: one header line
+// followed by one line per transaction. This is the interchange format
+// between the history collectors (which record executions) and the checker
+// (which loads them later) — the role of the paper's per-session collector
+// log files, folded into a single stream with a session field per record.
+package histio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"viper/internal/history"
+)
+
+// FormatVersion identifies the log format; Decode rejects others.
+const FormatVersion = 1
+
+type header struct {
+	Viper   string `json:"viper"`
+	Version int    `json:"version"`
+	Txns    int    `json:"txns"`
+}
+
+type opRec struct {
+	Kind string `json:"k"`
+	Key  string `json:"key,omitempty"`
+	WID  int64  `json:"wid,omitempty"`
+	Obs  int64  `json:"obs,omitempty"`
+	Tomb bool   `json:"tomb,omitempty"`
+	Lo   string `json:"lo,omitempty"`
+	Hi   string `json:"hi,omitempty"`
+	Res  []vRec `json:"res,omitempty"`
+}
+
+type vRec struct {
+	Key  string `json:"key"`
+	WID  int64  `json:"wid"`
+	Tomb bool   `json:"tomb,omitempty"`
+}
+
+type txnRec struct {
+	Session int32   `json:"s"`
+	Seq     int32   `json:"n"`
+	Begin   int64   `json:"b"`
+	Commit  int64   `json:"c"`
+	Aborted bool    `json:"aborted,omitempty"`
+	Ops     []opRec `json:"ops"`
+}
+
+// Encode writes the history (genesis excluded) to w.
+func Encode(w io.Writer, h *history.History) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(header{Viper: "history", Version: FormatVersion, Txns: h.Len()}); err != nil {
+		return err
+	}
+	for _, t := range h.Txns[1:] {
+		rec := txnRec{
+			Session: t.Session,
+			Seq:     t.SeqInSession,
+			Begin:   t.BeginAt,
+			Commit:  t.CommitAt,
+			Aborted: !t.Committed(),
+			Ops:     make([]opRec, 0, len(t.Ops)),
+		}
+		for i := range t.Ops {
+			op := &t.Ops[i]
+			r := opRec{Kind: op.Kind.String(), Key: string(op.Key)}
+			switch op.Kind {
+			case history.OpRead:
+				r.Obs = int64(op.Observed)
+				r.Tomb = op.ObservedTombstone
+			case history.OpWrite, history.OpInsert, history.OpDelete:
+				r.WID = int64(op.WriteID)
+			case history.OpRange:
+				r.Key = ""
+				r.Lo, r.Hi = string(op.Lo), string(op.Hi)
+				for _, v := range op.Result {
+					r.Res = append(r.Res, vRec{Key: string(v.Key), WID: int64(v.WriteID), Tomb: v.Tombstone})
+				}
+			}
+			rec.Ops = append(rec.Ops, r)
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a history from r and validates it. The returned history is
+// ready for checking.
+func Decode(r io.Reader) (*history.History, error) {
+	h, err := decodeRaw(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// decodeRaw parses without validating (session logs validate only after
+// merging).
+func decodeRaw(r io.Reader) (*history.History, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	dec := json.NewDecoder(br)
+	var hd header
+	if err := dec.Decode(&hd); err != nil {
+		return nil, fmt.Errorf("histio: reading header: %w", err)
+	}
+	if hd.Viper != "history" || hd.Version != FormatVersion {
+		return nil, fmt.Errorf("histio: unsupported log format (viper=%q version=%d)", hd.Viper, hd.Version)
+	}
+	h := history.New()
+	for i := 0; ; i++ {
+		var rec txnRec
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("histio: record %d: %w", i, err)
+		}
+		t := &history.Txn{
+			Session:      rec.Session,
+			SeqInSession: rec.Seq,
+			BeginAt:      rec.Begin,
+			CommitAt:     rec.Commit,
+		}
+		if rec.Aborted {
+			t.Status = history.StatusAborted
+		}
+		for _, r := range rec.Ops {
+			op := history.Op{Key: history.Key(r.Key)}
+			switch r.Kind {
+			case "r":
+				op.Kind = history.OpRead
+				op.Observed = history.WriteID(r.Obs)
+				op.ObservedTombstone = r.Tomb
+			case "w":
+				op.Kind = history.OpWrite
+				op.WriteID = history.WriteID(r.WID)
+			case "i":
+				op.Kind = history.OpInsert
+				op.WriteID = history.WriteID(r.WID)
+			case "d":
+				op.Kind = history.OpDelete
+				op.WriteID = history.WriteID(r.WID)
+			case "q":
+				op.Kind = history.OpRange
+				op.Lo, op.Hi = history.Key(r.Lo), history.Key(r.Hi)
+				for _, v := range r.Res {
+					op.Result = append(op.Result, history.Version{
+						Key: history.Key(v.Key), WriteID: history.WriteID(v.WID), Tombstone: v.Tomb,
+					})
+				}
+			default:
+				return nil, fmt.Errorf("histio: record %d: unknown op kind %q", i, r.Kind)
+			}
+			t.Ops = append(t.Ops, op)
+		}
+		h.Append(t)
+	}
+	if hd.Txns >= 0 && h.Len() != hd.Txns {
+		return nil, fmt.Errorf("histio: header declares %d txns, log has %d", hd.Txns, h.Len())
+	}
+	return h, nil
+}
+
+// WriteFile encodes h to path.
+func WriteFile(path string, h *history.History) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Encode(f, h); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile decodes and validates the history at path.
+func ReadFile(path string) (*history.History, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

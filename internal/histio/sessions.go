@@ -1,0 +1,71 @@
+package histio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"viper/internal/history"
+)
+
+// WriteSessionDir persists a history the way the paper's collectors do
+// (§5): one JSON-lines log per session, in its issue order, under dir
+// (created if needed). ReadSessionDir merges them back.
+func WriteSessionDir(dir string, h *history.History) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	bySession := make(map[int32][]*history.Txn)
+	for _, t := range h.Txns[1:] {
+		bySession[t.Session] = append(bySession[t.Session], t)
+	}
+	for sid, txns := range bySession {
+		sort.Slice(txns, func(i, j int) bool { return txns[i].SeqInSession < txns[j].SeqInSession })
+		sub := history.New()
+		for _, t := range txns {
+			ct := *t
+			sub.Append(&ct)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("session-%04d.jsonl", sid))
+		if err := WriteFile(path, sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSessionDir loads every session-*.jsonl log under dir, merges them
+// into a single history, and validates it.
+func ReadSessionDir(dir string) (*history.History, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "session-*.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("histio: no session logs under %s", dir)
+	}
+	sort.Strings(paths)
+	merged := history.New()
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		// Decode without validation (a single session's log refers to
+		// writes from other sessions); validate after the merge.
+		sub, err := decodeRaw(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("histio: %s: %w", path, err)
+		}
+		for _, t := range sub.Txns[1:] {
+			ct := *t
+			merged.Append(&ct)
+		}
+	}
+	if err := merged.Validate(); err != nil {
+		return nil, err
+	}
+	return merged, nil
+}

@@ -1,0 +1,212 @@
+package history
+
+import "fmt"
+
+// Builder assembles histories programmatically, for tests, examples, and
+// the anomaly injectors. It assigns write ids automatically (monotonically
+// from 1) and keeps per-session sequence numbers consistent, so the
+// resulting history passes Validate unless the caller deliberately encodes
+// a violation.
+//
+//	b := history.NewBuilder()
+//	s := b.Session()
+//	w1 := s.Txn().Write("x").Commit()
+//	s.Txn().ReadObserved("x", w1.WriteIDOf("x")).Commit()
+//	h, err := b.History()
+type Builder struct {
+	h       *History
+	nextWID WriteID
+	nextSeq []int32
+	// logical clock used when the caller does not supply timestamps; each
+	// begin/commit bumps it so real-time variants see a total order.
+	clock int64
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{h: New(), nextWID: 1}
+}
+
+// Session allocates a new session and returns its handle.
+func (b *Builder) Session() *SessionBuilder {
+	id := int32(len(b.nextSeq))
+	b.nextSeq = append(b.nextSeq, 0)
+	return &SessionBuilder{b: b, id: id}
+}
+
+// NextWriteID returns the write id the next write will receive, without
+// consuming it. Useful for constructing deliberately broken histories
+// (reads of future or fabricated writes).
+func (b *Builder) NextWriteID() WriteID { return b.nextWID }
+
+// History finalizes, validates, and returns the history.
+func (b *Builder) History() (*History, error) {
+	if err := b.h.Validate(); err != nil {
+		return nil, err
+	}
+	return b.h, nil
+}
+
+// MustHistory is History but panics on validation failure; for tests.
+func (b *Builder) MustHistory() *History {
+	h, err := b.History()
+	if err != nil {
+		panic(fmt.Sprintf("history.Builder: %v", err))
+	}
+	return h
+}
+
+// RawHistory returns the history without validating, for building
+// deliberately malformed inputs.
+func (b *Builder) RawHistory() *History { return b.h }
+
+func (b *Builder) tick() int64 {
+	b.clock++
+	return b.clock
+}
+
+// SessionBuilder creates transactions within one session.
+type SessionBuilder struct {
+	b  *Builder
+	id int32
+}
+
+// ID returns the session id.
+func (s *SessionBuilder) ID() int32 { return s.id }
+
+// Txn begins a new transaction in this session.
+func (s *SessionBuilder) Txn() *TxnBuilder {
+	t := &Txn{
+		Session:      s.id,
+		SeqInSession: s.b.nextSeq[s.id],
+		BeginAt:      s.b.tick(),
+	}
+	s.b.nextSeq[s.id]++
+	return &TxnBuilder{b: s.b, t: t, wids: make(map[Key]WriteID)}
+}
+
+// TxnBuilder accumulates a transaction's operations. All mutators return
+// the builder for chaining; Commit or Abort finalizes the transaction and
+// appends it to the history.
+type TxnBuilder struct {
+	b    *Builder
+	t    *Txn
+	wids map[Key]WriteID
+	done bool
+}
+
+// Write appends a write of key with a fresh write id.
+func (t *TxnBuilder) Write(key Key) *TxnBuilder {
+	return t.writeKind(OpWrite, key)
+}
+
+// Insert appends an insert of key with a fresh write id.
+func (t *TxnBuilder) Insert(key Key) *TxnBuilder {
+	return t.writeKind(OpInsert, key)
+}
+
+// Delete appends a delete (tombstone write) of key with a fresh write id.
+func (t *TxnBuilder) Delete(key Key) *TxnBuilder {
+	return t.writeKind(OpDelete, key)
+}
+
+func (t *TxnBuilder) writeKind(kind OpKind, key Key) *TxnBuilder {
+	w := t.b.nextWID
+	t.b.nextWID++
+	t.wids[key] = w
+	t.t.Ops = append(t.t.Ops, Op{Kind: kind, Key: key, WriteID: w})
+	return t
+}
+
+// ReadObserved appends a read of key that observed the given write id.
+func (t *TxnBuilder) ReadObserved(key Key, observed WriteID) *TxnBuilder {
+	t.t.Ops = append(t.t.Ops, Op{Kind: OpRead, Key: key, Observed: observed})
+	return t
+}
+
+// ReadGenesis appends a read that observed the key as absent/initial.
+func (t *TxnBuilder) ReadGenesis(key Key) *TxnBuilder {
+	return t.ReadObserved(key, GenesisWriteID)
+}
+
+// ReadOwn appends a read of the transaction's own earlier write of key.
+func (t *TxnBuilder) ReadOwn(key Key) *TxnBuilder {
+	w, ok := t.wids[key]
+	if !ok {
+		panic(fmt.Sprintf("ReadOwn(%q): no earlier write in this transaction", key))
+	}
+	return t.ReadObserved(key, w)
+}
+
+// Range appends a range query over [lo, hi] with the given result.
+func (t *TxnBuilder) Range(lo, hi Key, result ...Version) *TxnBuilder {
+	t.t.Ops = append(t.t.Ops, Op{Kind: OpRange, Lo: lo, Hi: hi, Result: result})
+	return t
+}
+
+// At overrides the begin timestamp (Unix nanos).
+func (t *TxnBuilder) At(begin int64) *TxnBuilder {
+	t.t.BeginAt = begin
+	return t
+}
+
+// WriteIDOf returns the write id this transaction assigned to key; it
+// panics if the transaction has not written key.
+func (t *TxnBuilder) WriteIDOf(key Key) WriteID {
+	w, ok := t.wids[key]
+	if !ok {
+		panic(fmt.Sprintf("WriteIDOf(%q): key not written", key))
+	}
+	return w
+}
+
+// Commit finalizes the transaction as committed and appends it.
+func (t *TxnBuilder) Commit() *CommittedTxn {
+	return t.finish(StatusCommitted, 0)
+}
+
+// CommitAt is Commit with an explicit commit timestamp.
+func (t *TxnBuilder) CommitAt(ts int64) *CommittedTxn {
+	return t.finish(StatusCommitted, ts)
+}
+
+// Abort finalizes the transaction as aborted and appends it.
+func (t *TxnBuilder) Abort() *CommittedTxn {
+	return t.finish(StatusAborted, 0)
+}
+
+func (t *TxnBuilder) finish(status Status, commitAt int64) *CommittedTxn {
+	if t.done {
+		panic("transaction already finalized")
+	}
+	t.done = true
+	t.t.Status = status
+	if commitAt != 0 {
+		t.t.CommitAt = commitAt
+	} else {
+		t.t.CommitAt = t.b.tick()
+	}
+	id := t.b.h.Append(t.t)
+	return &CommittedTxn{ID: id, wids: t.wids, txn: t.t}
+}
+
+// CommittedTxn is the handle returned when a built transaction is
+// finalized; it exposes the assigned ids so later transactions can read
+// from it.
+type CommittedTxn struct {
+	ID   TxnID
+	wids map[Key]WriteID
+	txn  *Txn
+}
+
+// WriteIDOf returns the write id the transaction assigned to key.
+func (c *CommittedTxn) WriteIDOf(key Key) WriteID {
+	w, ok := c.wids[key]
+	if !ok {
+		panic(fmt.Sprintf("WriteIDOf(%q): key not written by txn %d", key, c.ID))
+	}
+	return w
+}
+
+// Txn returns the underlying transaction.
+func (c *CommittedTxn) Txn() *Txn { return c.txn }

@@ -1,0 +1,229 @@
+// Package jepsen imports Jepsen histories (EDN format) into viper's
+// history model — the paper's pipeline for Figures 9 and 14, which consume
+// Jepsen's list-append workloads and public bug-report histories. The
+// list-append translation follows §7.1: the lists returned by reads are
+// translated into write orders, and consecutive appends are connected (by
+// synthesizing the predecessor read each append logically performed), so
+// the resulting BC-polygraph is constraint-free where order is manifest.
+package jepsen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ednValue is a parsed EDN value: one of nil, bool, int64, string,
+// Keyword, []ednValue (vectors and lists), or ednMap.
+type ednValue any
+
+// Keyword is an EDN keyword (":ok" parses to Keyword("ok")).
+type Keyword string
+
+// ednMap preserves EDN map entries with keyword keys (the only key type
+// Jepsen histories use).
+type ednMap map[Keyword]ednValue
+
+// ednParser is a recursive-descent parser for the EDN subset Jepsen
+// histories use: maps, vectors, lists, keywords, symbols, strings,
+// integers, nil and booleans. Commas are whitespace; #-dispatch forms and
+// tagged literals are skipped conservatively.
+type ednParser struct {
+	src []rune
+	pos int
+}
+
+func newParser(src string) *ednParser { return &ednParser{src: []rune(src)} }
+
+func (p *ednParser) errf(format string, args ...any) error {
+	return fmt.Errorf("edn: offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *ednParser) skipWS() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == ',' || unicode.IsSpace(c):
+			p.pos++
+		case c == ';': // comment to end of line
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *ednParser) eof() bool {
+	p.skipWS()
+	return p.pos >= len(p.src)
+}
+
+func isDelim(c rune) bool {
+	return unicode.IsSpace(c) || strings.ContainsRune(",()[]{}\";", c)
+}
+
+// next parses one EDN value.
+func (p *ednParser) next() (ednValue, error) {
+	p.skipWS()
+	if p.pos >= len(p.src) {
+		return nil, p.errf("unexpected end of input")
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '{':
+		return p.parseMap()
+	case c == '[':
+		return p.parseSeq(']')
+	case c == '(':
+		return p.parseSeq(')')
+	case c == '"':
+		return p.parseString()
+	case c == ':':
+		p.pos++
+		return Keyword(p.token()), nil
+	case c == '#':
+		// Dispatch: #{...} sets parse as sequences; tagged literals
+		// (#inst "...") parse the tag then the value.
+		p.pos++
+		if p.pos < len(p.src) && p.src[p.pos] == '{' {
+			return p.parseSeq('}')
+		}
+		p.token() // consume the tag symbol
+		return p.next()
+	default:
+		tok := p.token()
+		if tok == "" {
+			return nil, p.errf("unexpected character %q", c)
+		}
+		switch tok {
+		case "nil":
+			return nil, nil
+		case "true":
+			return true, nil
+		case "false":
+			return false, nil
+		}
+		if n, err := strconv.ParseInt(strings.TrimSuffix(tok, "N"), 10, 64); err == nil {
+			return n, nil
+		}
+		if f, err := strconv.ParseFloat(tok, 64); err == nil {
+			return int64(f), nil // histories only use numeric timestamps
+		}
+		return tok, nil // bare symbol; callers treat like a string
+	}
+}
+
+func (p *ednParser) token() string {
+	start := p.pos
+	for p.pos < len(p.src) && !isDelim(p.src[p.pos]) {
+		p.pos++
+	}
+	return string(p.src[start:p.pos])
+}
+
+func (p *ednParser) parseString() (ednValue, error) {
+	p.pos++ // opening quote
+	var sb strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '\\' && p.pos+1 < len(p.src) {
+			p.pos++
+			esc := p.src[p.pos]
+			switch esc {
+			case 'n':
+				sb.WriteRune('\n')
+			case 't':
+				sb.WriteRune('\t')
+			default:
+				sb.WriteRune(esc)
+			}
+			p.pos++
+			continue
+		}
+		if c == '"' {
+			p.pos++
+			return sb.String(), nil
+		}
+		sb.WriteRune(c)
+		p.pos++
+	}
+	return nil, p.errf("unterminated string")
+}
+
+func (p *ednParser) parseSeq(close rune) (ednValue, error) {
+	p.pos++ // opening bracket
+	var out []ednValue
+	for {
+		p.skipWS()
+		if p.pos >= len(p.src) {
+			return nil, p.errf("unterminated sequence")
+		}
+		if p.src[p.pos] == close {
+			p.pos++
+			return out, nil
+		}
+		v, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+}
+
+func (p *ednParser) parseMap() (ednValue, error) {
+	p.pos++ // opening brace
+	m := make(ednMap)
+	for {
+		p.skipWS()
+		if p.pos >= len(p.src) {
+			return nil, p.errf("unterminated map")
+		}
+		if p.src[p.pos] == '}' {
+			p.pos++
+			return m, nil
+		}
+		k, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		kw, ok := k.(Keyword)
+		if !ok {
+			// Non-keyword keys don't occur in histories; stringify.
+			kw = Keyword(fmt.Sprint(k))
+		}
+		m[kw] = v
+	}
+}
+
+// parseAll parses a whole document: either one top-level vector of entries
+// or a bare sequence of entries.
+func parseAll(src string) ([]ednMap, error) {
+	p := newParser(src)
+	var out []ednMap
+	for !p.eof() {
+		v, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch vv := v.(type) {
+		case ednMap:
+			out = append(out, vv)
+		case []ednValue:
+			for _, e := range vv {
+				if m, ok := e.(ednMap); ok {
+					out = append(out, m)
+				}
+			}
+		default:
+			// Stray scalar at top level: ignore.
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package jepsen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"viper/internal/history"
+)
+
+// Export writes a history as a Jepsen EDN rw-register log: one
+// :invoke/:completion entry pair per transaction, with [:w k v] and
+// [:r k v] micro-ops (written values are the write ids, which are unique,
+// matching Jepsen's unique-writes discipline). Committed transactions
+// complete with :ok, aborted ones with :fail; session ids become process
+// ids and collector timestamps become :time.
+//
+// Range queries have no rw-register representation and cause an error;
+// inserts and deletes export as the writes they are.
+func Export(w io.Writer, h *history.History) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range h.Txns[1:] {
+		mops, err := exportMops(t)
+		if err != nil {
+			return err
+		}
+		// The invocation mirrors the ops with unknown read results.
+		invoke, err := exportMopsInvoke(t)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(bw, "{:type :invoke, :f :txn, :value [%s], :process %d, :time %d}\n",
+			invoke, t.Session, t.BeginAt)
+		typ := ":ok"
+		if !t.Committed() {
+			typ = ":fail"
+		}
+		fmt.Fprintf(bw, "{:type %s, :f :txn, :value [%s], :process %d, :time %d}\n",
+			typ, mops, t.Session, t.CommitAt)
+	}
+	return bw.Flush()
+}
+
+func exportMops(t *history.Txn) (string, error) {
+	return renderMops(t, true)
+}
+
+func exportMopsInvoke(t *history.Txn) (string, error) {
+	return renderMops(t, false)
+}
+
+func renderMops(t *history.Txn, withResults bool) (string, error) {
+	out := ""
+	sep := ""
+	for i := range t.Ops {
+		op := &t.Ops[i]
+		switch op.Kind {
+		case history.OpRead:
+			if withResults {
+				if op.Observed == history.GenesisWriteID {
+					out += fmt.Sprintf("%s[:r %q nil]", sep, string(op.Key))
+				} else {
+					out += fmt.Sprintf("%s[:r %q %d]", sep, string(op.Key), op.Observed)
+				}
+			} else {
+				out += fmt.Sprintf("%s[:r %q nil]", sep, string(op.Key))
+			}
+		case history.OpWrite, history.OpInsert, history.OpDelete:
+			out += fmt.Sprintf("%s[:w %q %d]", sep, string(op.Key), op.WriteID)
+		case history.OpRange:
+			return "", fmt.Errorf("jepsen: range queries have no rw-register representation")
+		}
+		sep = " "
+	}
+	return out, nil
+}

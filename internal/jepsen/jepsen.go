@@ -1,0 +1,256 @@
+package jepsen
+
+import (
+	"fmt"
+	"os"
+
+	"viper/internal/history"
+)
+
+// Parse converts a Jepsen EDN history into viper's history model and
+// validates it. Supported workloads:
+//
+//   - rw-register: micro-ops [:w k v] and [:r k v] with unique written
+//     values per key (v nil reads as "absent");
+//   - list-append: micro-ops [:append k v] and [:r k [v...]]. Each key's
+//     append order is reconstructed from the longest list observed, and
+//     each append is connected to its predecessor by synthesizing the read
+//     it logically performed — the §7.1 translation that makes the write
+//     order manifest to the checker.
+//
+// Entry handling: :ok completions commit; :fail completions abort;
+// :invoke entries pair with their process's next completion. Indeterminate
+// (:info) transactions commit if any of their writes is observed by an
+// :ok transaction and are excluded otherwise (their fate is unknowable
+// from a black-box history; excluding unobserved writers only relaxes the
+// check).
+func Parse(src string) (*history.History, error) {
+	entries, err := parseAll(src)
+	if err != nil {
+		return nil, err
+	}
+
+	type txn struct {
+		process  int64
+		invokeTS int64
+		doneTS   int64
+		status   Keyword // ok | fail | info
+		value    []ednValue
+		index    int
+	}
+	var txns []*txn
+	pending := make(map[int64]*txn)
+	clock := int64(0)
+	for i, e := range entries {
+		typ, _ := e["type"].(Keyword)
+		proc := asInt(e["process"])
+		ts := asInt(e["time"])
+		if ts == 0 {
+			clock += 1000
+			ts = clock
+		}
+		switch typ {
+		case "invoke":
+			pending[proc] = &txn{process: proc, invokeTS: ts, index: i}
+			if v, ok := e["value"].([]ednValue); ok {
+				pending[proc].value = v
+			}
+		case "ok", "fail", "info":
+			t := pending[proc]
+			if t == nil {
+				// A completion without an invocation (nemesis entries,
+				// truncated logs): tolerate and skip.
+				continue
+			}
+			delete(pending, proc)
+			t.doneTS = ts
+			t.status = typ
+			if v, ok := e["value"].([]ednValue); ok {
+				t.value = v // completions carry the read results
+			}
+			txns = append(txns, t)
+		}
+	}
+	// In-flight invocations at the end of the log are indeterminate with
+	// no completion values; treat like :info.
+	for _, t := range pending {
+		clock += 1000
+		t.doneTS = clock
+		t.status = "info"
+		txns = append(txns, t)
+	}
+
+	// Pass 1: allocate write ids for every written (key, value) pair and
+	// record which values :ok transactions observed.
+	wids := make(map[string]history.WriteID) // "key\x00value" → wid
+	next := history.WriteID(1)
+	widOf := func(key string, val ednValue) history.WriteID {
+		id := key + "\x00" + fmt.Sprint(val)
+		w, ok := wids[id]
+		if !ok {
+			w = next
+			next++
+			wids[id] = w
+		}
+		return w
+	}
+	observed := make(map[history.WriteID]bool)
+	appendOrder := make(map[string][]ednValue) // longest observed list per key
+
+	for _, t := range txns {
+		for _, mv := range t.value {
+			mop, ok := mv.([]ednValue)
+			if !ok || len(mop) < 2 {
+				continue
+			}
+			f, _ := mop[0].(Keyword)
+			key := fmt.Sprint(mop[1])
+			switch f {
+			case "w", "append":
+				if len(mop) >= 3 {
+					widOf(key, mop[2])
+				}
+			case "r":
+				if t.status != "ok" || len(mop) < 3 {
+					continue
+				}
+				switch rv := mop[2].(type) {
+				case nil:
+				case []ednValue:
+					if len(rv) > len(appendOrder[key]) {
+						appendOrder[key] = rv
+					}
+					for _, el := range rv {
+						observed[widOf(key, el)] = true
+					}
+				default:
+					observed[widOf(key, rv)] = true
+				}
+			}
+		}
+	}
+
+	// Position of each appended value in its key's reconstructed order.
+	orderPos := make(map[string]map[string]int, len(appendOrder))
+	for key, vals := range appendOrder {
+		m := make(map[string]int, len(vals))
+		for i, v := range vals {
+			m[fmt.Sprint(v)] = i
+		}
+		orderPos[key] = m
+	}
+
+	// Pass 2: emit transactions.
+	h := history.New()
+	sessions := make(map[int64]int32)
+	seqs := make(map[int64]int32)
+	for _, t := range txns {
+		status := history.StatusCommitted
+		switch t.status {
+		case "fail":
+			status = history.StatusAborted
+		case "info":
+			// Commit iff observed; otherwise exclude the transaction.
+			anyObserved := false
+			for _, mv := range t.value {
+				mop, ok := mv.([]ednValue)
+				if !ok || len(mop) < 3 {
+					continue
+				}
+				if f, _ := mop[0].(Keyword); f == "w" || f == "append" {
+					if observed[widOf(fmt.Sprint(mop[1]), mop[2])] {
+						anyObserved = true
+					}
+				}
+			}
+			if !anyObserved {
+				continue
+			}
+		}
+
+		sid, ok := sessions[t.process]
+		if !ok {
+			sid = int32(len(sessions))
+			sessions[t.process] = sid
+		}
+		rec := &history.Txn{
+			Session:      sid,
+			SeqInSession: seqs[t.process],
+			BeginAt:      t.invokeTS,
+			CommitAt:     t.doneTS,
+			Status:       status,
+		}
+		seqs[t.process]++
+
+		for _, mv := range t.value {
+			mop, ok := mv.([]ednValue)
+			if !ok || len(mop) < 2 {
+				return nil, fmt.Errorf("jepsen: malformed micro-op %v", mv)
+			}
+			f, _ := mop[0].(Keyword)
+			key := fmt.Sprint(mop[1])
+			switch f {
+			case "w":
+				rec.Ops = append(rec.Ops, history.Op{
+					Kind: history.OpWrite, Key: history.Key(key), WriteID: widOf(key, mop[2]),
+				})
+			case "append":
+				val := fmt.Sprint(mop[2])
+				// Synthesize the predecessor read that manifests the
+				// append's position in the key's write order (§7.1).
+				if pos, known := orderPos[key][val]; known {
+					var obs history.WriteID // genesis for the first element
+					if pos > 0 {
+						obs = widOf(key, appendOrder[key][pos-1])
+					}
+					rec.Ops = append(rec.Ops, history.Op{
+						Kind: history.OpRead, Key: history.Key(key), Observed: obs,
+					})
+				}
+				rec.Ops = append(rec.Ops, history.Op{
+					Kind: history.OpWrite, Key: history.Key(key), WriteID: widOf(key, mop[2]),
+				})
+			case "r":
+				if t.status != "ok" {
+					continue // reads of unfinished txns carry no results
+				}
+				var obs history.WriteID
+				switch rv := mop[2].(type) {
+				case nil:
+				case []ednValue:
+					if len(rv) > 0 {
+						obs = widOf(key, rv[len(rv)-1])
+					}
+				default:
+					obs = widOf(key, rv)
+				}
+				rec.Ops = append(rec.Ops, history.Op{
+					Kind: history.OpRead, Key: history.Key(key), Observed: obs,
+				})
+			default:
+				return nil, fmt.Errorf("jepsen: unsupported micro-op %q", f)
+			}
+		}
+		h.Append(rec)
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// ParseFile reads and converts a Jepsen EDN history file.
+func ParseFile(path string) (*history.History, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(string(data))
+}
+
+func asInt(v ednValue) int64 {
+	if n, ok := v.(int64); ok {
+		return n
+	}
+	return 0
+}

@@ -1,0 +1,291 @@
+package jepsen
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"bytes"
+
+	"viper/internal/anomaly"
+	"viper/internal/core"
+	"viper/internal/runner"
+	"viper/internal/workload"
+)
+
+func TestEDNParserBasics(t *testing.T) {
+	vals, err := parseAll(`
+; a comment
+{:type :invoke, :f :txn, :value [[:append 5 1] [:r 5 nil]], :process 0, :time 12}
+{:type :ok,     :f :txn, :value [[:append 5 1] [:r 5 [1]]],  :process 0, :time 15}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 {
+		t.Fatalf("parsed %d entries", len(vals))
+	}
+	if vals[0]["type"] != Keyword("invoke") || asInt(vals[0]["time"]) != 12 {
+		t.Fatalf("entry 0 = %+v", vals[0])
+	}
+	mops := vals[1]["value"].([]ednValue)
+	app := mops[0].([]ednValue)
+	if app[0] != Keyword("append") || asInt(app[1]) != 5 || asInt(app[2]) != 1 {
+		t.Fatalf("mop = %v", app)
+	}
+	if rd := mops[1].([]ednValue); rd[2].([]ednValue)[0] != ednValue(int64(1)) {
+		t.Fatalf("read result = %v", rd[2])
+	}
+}
+
+func TestEDNParserTopLevelVectorStringsAndTags(t *testing.T) {
+	vals, err := parseAll(`[{:a "he\"llo", :b #inst "2020", :c true, :d false, :e nil}]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vals[0]
+	if m["a"] != ednValue(`he"llo`) || m["c"] != ednValue(true) || m["d"] != ednValue(false) || m["e"] != nil {
+		t.Fatalf("map = %+v", m)
+	}
+}
+
+func TestEDNParserErrors(t *testing.T) {
+	for _, bad := range []string{`{:a`, `[1 2`, `"unterminated`, `{:a 1 :b}`} {
+		if _, err := parseAll(bad); err == nil {
+			t.Errorf("no error for %q", bad)
+		}
+	}
+}
+
+// appendLog builds a small, healthy Jepsen list-append log: two processes
+// appending to two keys with interleaved reads.
+const appendLog = `
+{:type :invoke, :f :txn, :value [[:append 1 10]], :process 0, :time 100}
+{:type :ok,     :f :txn, :value [[:append 1 10]], :process 0, :time 200}
+{:type :invoke, :f :txn, :value [[:append 1 11] [:append 2 20]], :process 1, :time 300}
+{:type :ok,     :f :txn, :value [[:append 1 11] [:append 2 20]], :process 1, :time 400}
+{:type :invoke, :f :txn, :value [[:r 1 nil] [:r 2 nil]], :process 0, :time 500}
+{:type :ok,     :f :txn, :value [[:r 1 [10 11]] [:r 2 [20]]], :process 0, :time 600}
+`
+
+func TestAppendLogConvertsAndChecksSI(t *testing.T) {
+	h, err := Parse(appendLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("txns = %d", h.Len())
+	}
+	rep := core.CheckHistory(h, core.Options{Level: core.AdyaSI})
+	if rep.Outcome != core.Accept {
+		t.Fatalf("outcome = %v", rep.Outcome)
+	}
+	// Write order is manifested: the polygraph must be constraint-free
+	// (the §7.1 translation).
+	if rep.Constraints != 0 {
+		t.Fatalf("constraints = %d, want 0", rep.Constraints)
+	}
+}
+
+func TestRegisterLogWithViolation(t *testing.T) {
+	// rw-register lost update: both writers read-modify the same value.
+	log := `
+{:type :invoke, :f :txn, :value [[:w 7 1]], :process 0, :time 1}
+{:type :ok,     :f :txn, :value [[:w 7 1]], :process 0, :time 2}
+{:type :invoke, :f :txn, :value [[:r 7 nil] [:w 7 2]], :process 1, :time 3}
+{:type :ok,     :f :txn, :value [[:r 7 1] [:w 7 2]],   :process 1, :time 4}
+{:type :invoke, :f :txn, :value [[:r 7 nil] [:w 7 3]], :process 2, :time 5}
+{:type :ok,     :f :txn, :value [[:r 7 1] [:w 7 3]],   :process 2, :time 6}
+`
+	h, err := Parse(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := core.CheckHistory(h, core.Options{Level: core.AdyaSI})
+	if rep.Outcome != core.Reject {
+		t.Fatalf("lost update accepted: %v", rep.Outcome)
+	}
+}
+
+func TestAbortedReadFromFailedTxn(t *testing.T) {
+	// A :fail write observed by an :ok read is a G1a violation; the
+	// conversion must surface it as a validation error.
+	log := `
+{:type :invoke, :f :txn, :value [[:w 1 9]], :process 0, :time 1}
+{:type :fail,   :f :txn, :value [[:w 1 9]], :process 0, :time 2}
+{:type :invoke, :f :txn, :value [[:r 1 nil]], :process 1, :time 3}
+{:type :ok,     :f :txn, :value [[:r 1 9]],   :process 1, :time 4}
+`
+	_, err := Parse(log)
+	if err == nil || !strings.Contains(err.Error(), "aborted") {
+		t.Fatalf("err = %v, want aborted-read validation failure", err)
+	}
+}
+
+func TestInfoTxnObservedCommits(t *testing.T) {
+	// An indeterminate (:info) write that a later :ok read observes must
+	// be treated as committed.
+	log := `
+{:type :invoke, :f :txn, :value [[:w 1 5]], :process 0, :time 1}
+{:type :info,   :f :txn, :value [[:w 1 5]], :process 0, :time 2}
+{:type :invoke, :f :txn, :value [[:r 1 nil]], :process 1, :time 3}
+{:type :ok,     :f :txn, :value [[:r 1 5]],   :process 1, :time 4}
+`
+	h, err := Parse(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("txns = %d (info txn should be included)", h.Len())
+	}
+	if rep := core.CheckHistory(h, core.Options{Level: core.AdyaSI}); rep.Outcome != core.Accept {
+		t.Fatalf("outcome = %v", rep.Outcome)
+	}
+}
+
+func TestInfoTxnUnobservedExcluded(t *testing.T) {
+	log := `
+{:type :invoke, :f :txn, :value [[:w 1 5]], :process 0, :time 1}
+{:type :info,   :f :txn, :value [[:w 1 5]], :process 0, :time 2}
+{:type :invoke, :f :txn, :value [[:r 1 nil]], :process 1, :time 3}
+{:type :ok,     :f :txn, :value [[:r 1 nil]], :process 1, :time 4}
+`
+	h, err := Parse(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 1 {
+		t.Fatalf("txns = %d (unobserved info txn should be excluded)", h.Len())
+	}
+}
+
+func TestDanglingInvokeTreatedAsInfo(t *testing.T) {
+	log := `
+{:type :invoke, :f :txn, :value [[:w 1 5]], :process 0, :time 1}
+`
+	h, err := Parse(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 0 {
+		t.Fatalf("txns = %d", h.Len())
+	}
+}
+
+func TestSessionsFollowProcesses(t *testing.T) {
+	h, err := Parse(appendLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Sessions) != 2 {
+		t.Fatalf("sessions = %d", len(h.Sessions))
+	}
+	// Process 0 issued txn 1 and txn 3 (the read): same session.
+	if len(h.Sessions[0]) != 2 || len(h.Sessions[1]) != 1 {
+		t.Fatalf("session sizes = %d/%d", len(h.Sessions[0]), len(h.Sessions[1]))
+	}
+}
+
+// TestLongForkInJepsenForm converts a register-workload long fork and
+// checks viper rejects it (the paper's Figure 14/15 pipeline end to end).
+func TestLongForkInJepsenForm(t *testing.T) {
+	var sb strings.Builder
+	entry := func(typ string, proc int, ts int, mops string) {
+		fmt.Fprintf(&sb, "{:type :%s, :f :txn, :value [%s], :process %d, :time %d}\n", typ, mops, proc, ts)
+	}
+	// T1 writes x=1, y=1; T2 RMWs x; T3 RMWs y; T4 sees x=2,y=1; T5 sees x=1,y=2.
+	entry("invoke", 0, 1, "[:w 1 1] [:w 2 1]")
+	entry("ok", 0, 2, "[:w 1 1] [:w 2 1]")
+	entry("invoke", 1, 3, "[:r 1 nil] [:w 1 2]")
+	entry("ok", 1, 4, "[:r 1 1] [:w 1 2]")
+	entry("invoke", 2, 5, "[:r 2 nil] [:w 2 2]")
+	entry("ok", 2, 6, "[:r 2 1] [:w 2 2]")
+	entry("invoke", 3, 7, "[:r 1 nil] [:r 2 nil]")
+	entry("ok", 3, 8, "[:r 1 2] [:r 2 1]")
+	entry("invoke", 4, 9, "[:r 1 nil] [:r 2 nil]")
+	entry("ok", 4, 10, "[:r 1 1] [:r 2 2]")
+
+	h, err := Parse(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := core.CheckHistory(h, core.Options{Level: core.AdyaSI})
+	if rep.Outcome != core.Reject {
+		t.Fatalf("long fork accepted: %v", rep.Outcome)
+	}
+}
+
+func TestParseFileMissing(t *testing.T) {
+	if _, err := ParseFile("/nonexistent.edn"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestExportParseRoundTrip: a generated workload history exported to EDN
+// and re-imported must receive the same verdicts.
+func TestExportParseRoundTrip(t *testing.T) {
+	h, _, err := runner.Run(workload.NewBlindWRW(), runner.Config{Clients: 5, Txns: 80, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Export(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Parse(buf.String())
+	if err != nil {
+		t.Fatalf("re-import: %v\nlog head:\n%s", err, head(buf.String(), 400))
+	}
+	if h2.Len() != h.Len() {
+		t.Fatalf("txns %d != %d", h2.Len(), h.Len())
+	}
+	for _, level := range []core.Level{core.AdyaSI, core.StrongSessionSI} {
+		a := core.CheckHistory(h, core.Options{Level: level}).Outcome
+		b := core.CheckHistory(h2, core.Options{Level: level}).Outcome
+		if a != b {
+			t.Fatalf("level %v: verdicts differ (%v vs %v)", level, a, b)
+		}
+	}
+}
+
+// TestExportParsePreservesViolations: an injected anomaly must survive the
+// EDN round trip.
+func TestExportParsePreservesViolations(t *testing.T) {
+	h, _, err := runner.Run(workload.NewBlindWRM(), runner.Config{Clients: 3, Txns: 30, Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anomaly.Inject(h, anomaly.LongFork)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Export(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Parse(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := core.CheckHistory(h2, core.Options{Level: core.AdyaSI}); rep.Outcome != core.Reject {
+		t.Fatalf("violation lost in round trip: %v", rep.Outcome)
+	}
+}
+
+func TestExportRejectsRangeQueries(t *testing.T) {
+	h, _, err := runner.Run(workload.NewRangeB(), runner.Config{Clients: 3, Txns: 30, Seed: 53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Export(&buf, h); err == nil {
+		t.Fatal("range history exported as rw-register")
+	}
+}
+
+func head(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}

@@ -1,0 +1,286 @@
+// Package mvcc implements a multi-version key-value storage engine with
+// snapshot isolation — the stand-in for the SI databases the paper
+// evaluates against (TiDB, SQLServer, YugabyteDB). The checker never looks
+// inside it: histories are produced by running workloads against this
+// engine through the history collectors, exactly as the paper's clients
+// run against cloud databases.
+//
+// Reads within a transaction observe a fixed snapshot (the committed state
+// at begin, or an older committed prefix when snapshot lag is configured —
+// still SI); writes are buffered and validated at commit with
+// first-committer-wins: if any written key gained a committed version
+// after the transaction's snapshot, the commit fails with ErrConflict.
+//
+// For testing checkers, the engine can be configured to violate SI in
+// controlled ways (FaultMode): fractured per-read snapshots (yielding read
+// skew, long fork and cyclic-information-flow anomalies), skipped write
+// validation (lost updates), and visible aborted writes (aborted reads).
+package mvcc
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// ErrConflict is returned by Commit when first-committer-wins validation
+// fails; the transaction has been aborted.
+var ErrConflict = errors.New("mvcc: write-write conflict (first committer wins)")
+
+// ErrDone is returned when a finished transaction is used again.
+var ErrDone = errors.New("mvcc: transaction already committed or aborted")
+
+// FaultMode selects a deliberate isolation bug, for generating non-SI
+// histories (§7.3 of the paper checks such histories).
+type FaultMode uint8
+
+const (
+	// FaultNone is a correct SI engine.
+	FaultNone FaultMode = iota
+	// FaultFracturedSnapshot makes every read observe the latest committed
+	// state at read time instead of the transaction's snapshot: transactions
+	// no longer read a consistent snapshot, producing read skew, long forks,
+	// and G1c anomalies under concurrency.
+	FaultFracturedSnapshot
+	// FaultLostUpdate skips first-committer-wins validation: concurrent
+	// read-modify-writes silently lose updates.
+	FaultLostUpdate
+	// FaultVisibleAborts applies a transaction's writes even when the
+	// client aborts it, so other transactions read aborted data (G1a).
+	FaultVisibleAborts
+)
+
+// Config configures an engine instance.
+type Config struct {
+	// Fault selects an isolation bug; FaultNone is a correct engine.
+	Fault FaultMode
+	// SnapshotLagMax, when positive, lets each transaction begin on a
+	// committed snapshot up to this many commits old (chosen at random).
+	// This is still SI (GSI permits arbitrarily old snapshots) but violates
+	// Strong SI and, across a session, Strong Session SI — useful for
+	// distinguishing the variant checkers.
+	SnapshotLagMax int
+	// Seed drives the engine's internal randomness (snapshot lag).
+	Seed int64
+}
+
+type version struct {
+	val     string
+	seq     uint64 // commit sequence that installed it
+	deleted bool
+}
+
+// KV is a key-value pair returned by Scan.
+type KV struct {
+	Key     string
+	Val     string
+	Deleted bool
+}
+
+// DB is a snapshot-isolated multi-version store. Safe for concurrent use.
+type DB struct {
+	mu        sync.Mutex
+	store     map[string][]version // versions in increasing seq order
+	commitSeq uint64
+	rng       *rand.Rand
+	cfg       Config
+
+	// Stats counters (read under Stats()).
+	commits, aborts, conflicts uint64
+}
+
+// New creates an empty engine.
+func New(cfg Config) *DB {
+	return &DB{
+		store: make(map[string][]version),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:   cfg,
+	}
+}
+
+// Stats reports commit/abort counters.
+type Stats struct {
+	Commits   uint64
+	Aborts    uint64
+	Conflicts uint64
+}
+
+// Stats returns a snapshot of the engine counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return Stats{Commits: db.commits, Aborts: db.aborts, Conflicts: db.conflicts}
+}
+
+// Txn is an in-flight transaction. Not safe for concurrent use by multiple
+// goroutines (one client per transaction, as in the paper's setup).
+type Txn struct {
+	db      *DB
+	snapSeq uint64
+	writes  map[string]version // buffered, seq unset until commit
+	order   []string           // write order for deterministic commit
+	done    bool
+}
+
+// Begin starts a transaction on a committed snapshot.
+func (db *DB) Begin() *Txn {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	snap := db.commitSeq
+	if db.cfg.SnapshotLagMax > 0 && snap > 0 {
+		lag := uint64(db.rng.Intn(db.cfg.SnapshotLagMax + 1))
+		if lag > snap {
+			lag = snap
+		}
+		snap -= lag
+	}
+	return &Txn{db: db, snapSeq: snap, writes: make(map[string]version)}
+}
+
+// visibleAt returns the latest version of key with seq <= snap.
+func (db *DB) visibleAt(key string, snap uint64) (version, bool) {
+	vs := db.store[key]
+	for i := len(vs) - 1; i >= 0; i-- {
+		if vs[i].seq <= snap {
+			return vs[i], true
+		}
+	}
+	return version{}, false
+}
+
+// Get reads key. It returns the value and true if the key exists (and is
+// not deleted) in the transaction's view; a deleted key returns its
+// tombstoned value with ok=false so collectors can still extract metadata.
+func (t *Txn) Get(key string) (val string, ok bool, err error) {
+	if t.done {
+		return "", false, ErrDone
+	}
+	if w, buffered := t.writes[key]; buffered {
+		return w.val, !w.deleted, nil
+	}
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	snap := t.snapSeq
+	if t.db.cfg.Fault == FaultFracturedSnapshot {
+		snap = t.db.commitSeq // read the latest state: fractured snapshot
+	}
+	v, exists := t.db.visibleAt(key, snap)
+	if !exists {
+		return "", false, nil
+	}
+	return v.val, !v.deleted, nil
+}
+
+// Put buffers a write of key.
+func (t *Txn) Put(key, val string) error {
+	if t.done {
+		return ErrDone
+	}
+	if _, dup := t.writes[key]; !dup {
+		t.order = append(t.order, key)
+	}
+	t.writes[key] = version{val: val}
+	return nil
+}
+
+// Delete buffers a deletion of key (a deleted version retains its value so
+// tombstone metadata survives).
+func (t *Txn) Delete(key, val string) error {
+	if t.done {
+		return ErrDone
+	}
+	if _, dup := t.writes[key]; !dup {
+		t.order = append(t.order, key)
+	}
+	t.writes[key] = version{val: val, deleted: true}
+	return nil
+}
+
+// Scan returns the transaction's view of keys in [lo, hi] (inclusive),
+// sorted. Deleted (tombstoned) versions are included with Deleted=true;
+// callers that want live keys filter on it.
+func (t *Txn) Scan(lo, hi string) ([]KV, error) {
+	if t.done {
+		return nil, ErrDone
+	}
+	t.db.mu.Lock()
+	snap := t.snapSeq
+	if t.db.cfg.Fault == FaultFracturedSnapshot {
+		snap = t.db.commitSeq
+	}
+	var out []KV
+	for key := range t.db.store {
+		if key < lo || key > hi {
+			continue
+		}
+		if _, buffered := t.writes[key]; buffered {
+			continue // own write wins; added below
+		}
+		if v, exists := t.db.visibleAt(key, snap); exists {
+			out = append(out, KV{Key: key, Val: v.val, Deleted: v.deleted})
+		}
+	}
+	t.db.mu.Unlock()
+	for key, w := range t.writes {
+		if key >= lo && key <= hi {
+			out = append(out, KV{Key: key, Val: w.val, Deleted: w.deleted})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Commit validates and applies the transaction. On ErrConflict the
+// transaction is aborted (first committer wins).
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrDone
+	}
+	t.done = true
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	if len(t.writes) == 0 {
+		t.db.commits++
+		return nil
+	}
+	if t.db.cfg.Fault != FaultLostUpdate {
+		for key := range t.writes {
+			if vs := t.db.store[key]; len(vs) > 0 && vs[len(vs)-1].seq > t.snapSeq {
+				t.db.conflicts++
+				t.db.aborts++
+				return ErrConflict
+			}
+		}
+	}
+	t.db.commitSeq++
+	seq := t.db.commitSeq
+	for _, key := range t.order {
+		w := t.writes[key]
+		w.seq = seq
+		t.db.store[key] = append(t.db.store[key], w)
+	}
+	t.db.commits++
+	return nil
+}
+
+// Abort discards the transaction (except under FaultVisibleAborts, where
+// the engine leaks the writes — the G1a bug).
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	if t.db.cfg.Fault == FaultVisibleAborts && len(t.writes) > 0 {
+		t.db.commitSeq++
+		seq := t.db.commitSeq
+		for _, key := range t.order {
+			w := t.writes[key]
+			w.seq = seq
+			t.db.store[key] = append(t.db.store[key], w)
+		}
+	}
+	t.db.aborts++
+}

@@ -1,0 +1,231 @@
+package mvcc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPutCommitVisibility(t *testing.T) {
+	db := New(Config{})
+	t1 := db.Begin()
+	t1.Put("x", "1")
+	if v, ok, _ := t1.Get("x"); !ok || v != "1" {
+		t.Fatalf("own write invisible: %q %v", v, ok)
+	}
+	// Not visible to a concurrent snapshot.
+	t2 := db.Begin()
+	if _, ok, _ := t2.Get("x"); ok {
+		t.Fatal("uncommitted write visible")
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Still invisible to t2 (snapshot), visible to a new txn.
+	if _, ok, _ := t2.Get("x"); ok {
+		t.Fatal("post-snapshot commit visible to old snapshot")
+	}
+	t3 := db.Begin()
+	if v, ok, _ := t3.Get("x"); !ok || v != "1" {
+		t.Fatalf("committed write invisible: %q %v", v, ok)
+	}
+}
+
+func TestFirstCommitterWins(t *testing.T) {
+	db := New(Config{})
+	t1, t2 := db.Begin(), db.Begin()
+	t1.Put("x", "a")
+	t2.Put("x", "b")
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("second committer err = %v, want ErrConflict", err)
+	}
+	st := db.Stats()
+	if st.Commits != 1 || st.Aborts != 1 || st.Conflicts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReadOnlyNeverConflicts(t *testing.T) {
+	db := New(Config{})
+	t1 := db.Begin()
+	t2 := db.Begin()
+	t1.Put("x", "a")
+	t1.Commit()
+	t2.Get("x")
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteSkewAllowed(t *testing.T) {
+	// SI famously admits write skew: disjoint write sets never conflict.
+	db := New(Config{})
+	t1, t2 := db.Begin(), db.Begin()
+	t1.Get("y")
+	t1.Put("x", "1")
+	t2.Get("x")
+	t2.Put("y", "2")
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("write skew aborted: %v", err)
+	}
+}
+
+func TestDeleteAndScan(t *testing.T) {
+	db := New(Config{})
+	t1 := db.Begin()
+	t1.Put("a", "1")
+	t1.Put("b", "2")
+	t1.Put("c", "3")
+	t1.Commit()
+	t2 := db.Begin()
+	t2.Delete("b", "tomb")
+	t2.Commit()
+	t3 := db.Begin()
+	kvs, err := t3.Scan("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 3 {
+		t.Fatalf("scan returned %d entries, want 3 (incl. deleted)", len(kvs))
+	}
+	if kvs[1].Key != "b" || !kvs[1].Deleted || kvs[1].Val != "tomb" {
+		t.Fatalf("deleted entry = %+v", kvs[1])
+	}
+	if _, ok, _ := t3.Get("b"); ok {
+		t.Fatal("deleted key reads as live")
+	}
+}
+
+func TestScanSeesOwnWritesAndBounds(t *testing.T) {
+	db := New(Config{})
+	t0 := db.Begin()
+	t0.Put("k1", "old")
+	t0.Put("k9", "out")
+	t0.Commit()
+	t1 := db.Begin()
+	t1.Put("k2", "mine")
+	kvs, _ := t1.Scan("k0", "k5")
+	if len(kvs) != 2 || kvs[0].Key != "k1" || kvs[1].Key != "k2" || kvs[1].Val != "mine" {
+		t.Fatalf("scan = %+v", kvs)
+	}
+}
+
+func TestSnapshotLagStillReadsConsistentPrefix(t *testing.T) {
+	db := New(Config{SnapshotLagMax: 3, Seed: 42})
+	for i := 0; i < 10; i++ {
+		tx := db.Begin()
+		tx.Put("x", fmt.Sprint(i))
+		tx.Put("y", fmt.Sprint(i))
+		if err := tx.Commit(); err != nil {
+			// lagged snapshot may conflict; retry on a fresh snapshot
+			i--
+			continue
+		}
+	}
+	// A lagged reader must still see x and y from the same commit.
+	for i := 0; i < 20; i++ {
+		r := db.Begin()
+		x, _, _ := r.Get("x")
+		y, _, _ := r.Get("y")
+		if x != y {
+			t.Fatalf("fractured lagged snapshot: x=%q y=%q", x, y)
+		}
+		r.Commit()
+	}
+}
+
+func TestFaultFracturedSnapshot(t *testing.T) {
+	db := New(Config{Fault: FaultFracturedSnapshot})
+	r := db.Begin()
+	if _, ok, _ := r.Get("x"); ok {
+		t.Fatal("x should not exist yet")
+	}
+	w := db.Begin()
+	w.Put("x", "new")
+	w.Commit()
+	// The fractured reader now sees the write despite its older snapshot.
+	if v, ok, _ := r.Get("x"); !ok || v != "new" {
+		t.Fatalf("fractured read = %q %v, want new true", v, ok)
+	}
+}
+
+func TestFaultLostUpdate(t *testing.T) {
+	db := New(Config{Fault: FaultLostUpdate})
+	t1, t2 := db.Begin(), db.Begin()
+	t1.Put("x", "a")
+	t2.Put("x", "b")
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("lost-update engine rejected the conflict: %v", err)
+	}
+}
+
+func TestFaultVisibleAborts(t *testing.T) {
+	db := New(Config{Fault: FaultVisibleAborts})
+	t1 := db.Begin()
+	t1.Put("x", "ghost")
+	t1.Abort()
+	r := db.Begin()
+	if v, ok, _ := r.Get("x"); !ok || v != "ghost" {
+		t.Fatalf("aborted write not visible under fault: %q %v", v, ok)
+	}
+}
+
+func TestDoneTxnErrors(t *testing.T) {
+	db := New(Config{})
+	tx := db.Begin()
+	tx.Commit()
+	if err := tx.Put("x", "1"); !errors.Is(err, ErrDone) {
+		t.Fatalf("Put after commit: %v", err)
+	}
+	if _, _, err := tx.Get("x"); !errors.Is(err, ErrDone) {
+		t.Fatalf("Get after commit: %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrDone) {
+		t.Fatalf("double commit: %v", err)
+	}
+	tx.Abort() // no-op, must not panic
+}
+
+func TestConcurrentClientsNoLostIncrements(t *testing.T) {
+	// With FCW and retries, concurrent counter increments must not lose
+	// updates (this is the invariant FaultLostUpdate breaks).
+	db := New(Config{})
+	const clients, incs = 8, 25
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < incs; i++ {
+				for {
+					tx := db.Begin()
+					v, _, _ := tx.Get("counter")
+					n := 0
+					fmt.Sscanf(v, "%d", &n)
+					tx.Put("counter", fmt.Sprint(n+1))
+					if tx.Commit() == nil {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	tx := db.Begin()
+	v, _, _ := tx.Get("counter")
+	n := 0
+	fmt.Sscanf(v, "%d", &n)
+	if n != clients*incs {
+		t.Fatalf("counter = %d, want %d", n, clients*incs)
+	}
+}

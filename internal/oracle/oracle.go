@@ -1,0 +1,204 @@
+// Package oracle decides snapshot isolation and serializability for tiny
+// histories by exhaustive search — a direct, executable reading of the
+// paper's Theorem 4: a history is SI iff there exists a total order ŝ of
+// begins and commits such that sequentially executing each begin with all
+// of its transaction's reads and each commit with all of its writes
+// reproduces the history. The search enumerates ŝ with aggressive pruning;
+// it is exponential and exists purely as a test oracle for differential
+// testing of the real checker.
+package oracle
+
+import "viper/internal/history"
+
+// IsSI reports whether a validated history is snapshot isolation (Adya SI,
+// logical time). A schedule witnesses SI iff (a) its replay reproduces
+// every read and (b) no two committed writers of the same key run
+// concurrently — §3.4's "write-dependencies prevent conflicting concurrent
+// writes in ŝ", i.e. first committer wins. Exponential in the number of
+// committed transactions; intended for histories of at most ~8.
+func IsSI(h *history.History) bool {
+	var txns []*history.Txn
+	for _, t := range h.Txns[1:] {
+		if t.Committed() {
+			txns = append(txns, t)
+		}
+	}
+	s := &searcher{h: h, txns: txns, current: map[history.Key]history.WriteID{}}
+	s.phase = make([]int8, len(txns)) // 0 = not begun, 1 = begun, 2 = committed
+	s.beginPos = make([]int, len(txns))
+	s.commitPos = make([]int, len(txns))
+	s.writes = make([]map[history.Key]int, len(txns))
+	for i, t := range txns {
+		s.writes[i] = t.LastWritePerKey()
+	}
+	return s.search(0)
+}
+
+type searcher struct {
+	h       *history.History
+	txns    []*history.Txn
+	phase   []int8
+	current map[history.Key]history.WriteID
+
+	// Scheduling positions and write sets, for the first-committer-wins
+	// overlap check.
+	beginPos, commitPos []int
+	writes              []map[history.Key]int
+	clock               int
+}
+
+// overlapsWriter reports whether committing txn i now would make it
+// concurrent with another committed-or-active writer of a shared key.
+func (s *searcher) overlapsWriter(i int) bool {
+	for key := range s.writes[i] {
+		for j := range s.txns {
+			if j == i {
+				continue
+			}
+			if _, shares := s.writes[j][key]; !shares {
+				continue
+			}
+			switch s.phase[j] {
+			case 1:
+				// j begun, not committed: it began before i's commit and
+				// will commit after — intervals overlap.
+				return true
+			case 2:
+				// j committed: overlap iff j committed after i began.
+				if s.commitPos[j] > s.beginPos[i] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// search tries to schedule the remaining events; done counts committed
+// transactions.
+func (s *searcher) search(done int) bool {
+	if done == len(s.txns) {
+		return true
+	}
+	for i, t := range s.txns {
+		switch s.phase[i] {
+		case 0:
+			// Try beginning t: its reads must match the current state.
+			if !s.readsMatch(t) {
+				continue
+			}
+			s.phase[i] = 1
+			s.clock++
+			s.beginPos[i] = s.clock
+			if s.search(done) {
+				return true
+			}
+			s.phase[i] = 0
+		case 1:
+			// Try committing t: first committer wins, then apply writes.
+			if s.overlapsWriter(i) {
+				continue
+			}
+			saved := s.applyWrites(t)
+			s.phase[i] = 2
+			s.clock++
+			s.commitPos[i] = s.clock
+			if s.search(done + 1) {
+				return true
+			}
+			s.phase[i] = 1
+			s.restore(saved)
+		}
+	}
+	return false
+}
+
+// readsMatch checks every external observation of t against the current
+// committed state, including range-query absences.
+func (s *searcher) readsMatch(t *history.Txn) bool {
+	ok := true
+	t.ExternalReads(func(key history.Key, obs history.WriteID) {
+		if !ok {
+			return
+		}
+		if s.current[key] != obs {
+			ok = false
+		}
+	})
+	if !ok {
+		return false
+	}
+	for i := range t.Ops {
+		op := &t.Ops[i]
+		if op.Kind != history.OpRange {
+			continue
+		}
+		returned := make(map[history.Key]bool, len(op.Result))
+		for _, v := range op.Result {
+			returned[v.Key] = true
+		}
+		for _, k := range s.h.KeysInRange(op.Lo, op.Hi) {
+			if !returned[k] && s.current[k] != history.GenesisWriteID {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+type savedWrite struct {
+	key  history.Key
+	prev history.WriteID
+}
+
+func (s *searcher) applyWrites(t *history.Txn) []savedWrite {
+	var saved []savedWrite
+	for key, opIdx := range t.LastWritePerKey() {
+		saved = append(saved, savedWrite{key, s.current[key]})
+		s.current[key] = t.Ops[opIdx].WriteID
+	}
+	return saved
+}
+
+func (s *searcher) restore(saved []savedWrite) {
+	for i := len(saved) - 1; i >= 0; i-- {
+		s.current[saved[i].key] = saved[i].prev
+	}
+}
+
+// IsSerializable reports whether a validated history is serializable:
+// some total order of the committed transactions replays every external
+// read. Exponential; a test oracle only.
+func IsSerializable(h *history.History) bool {
+	var txns []*history.Txn
+	for _, t := range h.Txns[1:] {
+		if t.Committed() {
+			txns = append(txns, t)
+		}
+	}
+	s := &searcher{h: h, txns: txns, current: map[history.Key]history.WriteID{}}
+	used := make([]bool, len(txns))
+	var rec func(done int) bool
+	rec = func(done int) bool {
+		if done == len(txns) {
+			return true
+		}
+		for i, t := range txns {
+			if used[i] {
+				continue
+			}
+			if !s.readsMatch(t) {
+				continue
+			}
+			used[i] = true
+			saved := s.applyWrites(t)
+			if rec(done + 1) {
+				return true
+			}
+			s.restore(saved)
+			used[i] = false
+		}
+		return false
+	}
+	return rec(0)
+}

@@ -1,0 +1,151 @@
+package oracle
+
+import (
+	"time"
+
+	"viper/internal/history"
+)
+
+// Variant selects the real-time flavor for IsVariantSI.
+type Variant uint8
+
+const (
+	// GSI: reads observe transactions that committed, in real time, before
+	// the reader began; old snapshots allowed.
+	GSI Variant = iota
+	// StrongSessionSI: GSI plus session order.
+	StrongSessionSI
+	// StrongSI: reads observe the most recent snapshot in real time.
+	StrongSI
+)
+
+// IsVariantSI decides the real-time SI variants by the same exhaustive
+// schedule search as IsSI, additionally requiring ŝ to respect the
+// bounded-drift happens-before relation for the variant's event pairs
+// (§5 of the paper):
+//
+//   - GSI / Strong Session SI: any event more than drift before a commit
+//     precedes that commit in ŝ;
+//   - Strong SI: additionally, a commit more than drift before a begin
+//     precedes that begin (begin/begin pairs are never constrained);
+//   - Strong Session SI: additionally, a session's transactions appear in
+//     session order.
+//
+// Exponential; a test oracle for tiny histories only.
+func IsVariantSI(h *history.History, v Variant, drift time.Duration) bool {
+	var txns []*history.Txn
+	for _, t := range h.Txns[1:] {
+		if t.Committed() {
+			txns = append(txns, t)
+		}
+	}
+	n := len(txns)
+	s := &searcher{h: h, txns: txns, current: map[history.Key]history.WriteID{}}
+	s.phase = make([]int8, n)
+	s.beginPos = make([]int, n)
+	s.commitPos = make([]int, n)
+	s.writes = make([]map[history.Key]int, n)
+	for i, t := range txns {
+		s.writes[i] = t.LastWritePerKey()
+	}
+
+	// Event ids: 2i = begin of txns[i], 2i+1 = commit.
+	d := drift.Nanoseconds()
+	tsOf := func(ev int) int64 {
+		t := txns[ev/2]
+		if ev%2 == 0 {
+			return t.BeginAt
+		}
+		return t.CommitAt
+	}
+	// preds[e] lists events that must be scheduled before e.
+	preds := make([][]int, 2*n)
+	for a := 0; a < 2*n; a++ {
+		for b := 0; b < 2*n; b++ {
+			if a == b || a/2 == b/2 {
+				continue // intra-txn order is implicit in the search
+			}
+			if tsOf(b)-tsOf(a) <= d {
+				continue // not ordered under bounded drift
+			}
+			switch {
+			case b%2 == 1:
+				// any event → commit: all variants.
+				preds[b] = append(preds[b], a)
+			case a%2 == 1 && v == StrongSI:
+				// commit → begin: Strong SI only.
+				preds[b] = append(preds[b], a)
+			}
+		}
+	}
+	if v == StrongSessionSI {
+		for _, sess := range h.Sessions {
+			var prev history.TxnID = -1
+			idxOf := make(map[history.TxnID]int, n)
+			for i, t := range txns {
+				idxOf[t.ID] = i
+			}
+			for _, id := range sess {
+				if !h.Txns[id].Committed() {
+					continue
+				}
+				if prev >= 0 {
+					// commit(prev) precedes begin(next).
+					preds[2*idxOf[id]] = append(preds[2*idxOf[id]], 2*idxOf[prev]+1)
+				}
+				prev = id
+			}
+		}
+	}
+
+	scheduled := make([]bool, 2*n)
+	ready := func(ev int) bool {
+		for _, p := range preds[ev] {
+			if !scheduled[p] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var rec func(done int) bool
+	rec = func(done int) bool {
+		if done == n {
+			return true
+		}
+		for i, t := range s.txns {
+			switch s.phase[i] {
+			case 0:
+				if !ready(2*i) || !s.readsMatch(t) {
+					continue
+				}
+				s.phase[i] = 1
+				scheduled[2*i] = true
+				s.clock++
+				s.beginPos[i] = s.clock
+				if rec(done) {
+					return true
+				}
+				scheduled[2*i] = false
+				s.phase[i] = 0
+			case 1:
+				if !ready(2*i+1) || s.overlapsWriter(i) {
+					continue
+				}
+				saved := s.applyWrites(t)
+				s.phase[i] = 2
+				scheduled[2*i+1] = true
+				s.clock++
+				s.commitPos[i] = s.clock
+				if rec(done + 1) {
+					return true
+				}
+				scheduled[2*i+1] = false
+				s.phase[i] = 1
+				s.restore(saved)
+			}
+		}
+		return false
+	}
+	return rec(0)
+}

@@ -1,0 +1,339 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestEmptyFormulaIsSat(t *testing.T) {
+	s := New()
+	if res := s.Solve(); res != Sat {
+		t.Fatalf("Solve() = %v, want Sat", res)
+	}
+}
+
+func TestUnitClauses(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a))
+	s.AddClause(NegLit(b))
+	if res := s.Solve(); res != Sat {
+		t.Fatalf("Solve() = %v", res)
+	}
+	if !s.Value(a) || s.Value(b) {
+		t.Fatalf("model a=%v b=%v, want true,false", s.Value(a), s.Value(b))
+	}
+}
+
+func TestContradictionUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(PosLit(a))
+	if ok := s.AddClause(NegLit(a)); ok {
+		if res := s.Solve(); res != Unsat {
+			t.Fatalf("Solve() = %v, want Unsat", res)
+		}
+		return
+	}
+	// AddClause may detect the contradiction eagerly; Solve must agree.
+	if res := s.Solve(); res != Unsat {
+		t.Fatalf("Solve() = %v, want Unsat", res)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	s.NewVar()
+	if s.AddClause() {
+		t.Fatal("AddClause() with no literals should fail")
+	}
+	if res := s.Solve(); res != Unsat {
+		t.Fatalf("Solve() = %v, want Unsat", res)
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	if !s.AddClause(PosLit(a), NegLit(a)) {
+		t.Fatal("tautology rejected")
+	}
+	if res := s.Solve(); res != Sat {
+		t.Fatalf("Solve() = %v", res)
+	}
+}
+
+func TestXOR(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddXOR(PosLit(a), PosLit(b))
+	s.AddClause(PosLit(a))
+	if res := s.Solve(); res != Sat {
+		t.Fatalf("Solve() = %v", res)
+	}
+	if !s.Value(a) || s.Value(b) {
+		t.Fatalf("XOR model a=%v b=%v", s.Value(a), s.Value(b))
+	}
+}
+
+func TestXORBothTrueUnsat(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddXOR(PosLit(a), PosLit(b))
+	s.AddClause(PosLit(a))
+	s.AddClause(PosLit(b))
+	if res := s.Solve(); res != Unsat {
+		t.Fatalf("Solve() = %v, want Unsat", res)
+	}
+}
+
+func TestImplicationChain(t *testing.T) {
+	s := New()
+	const n = 50
+	vars := make([]Var, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for i := 0; i+1 < n; i++ {
+		s.AddImplies(PosLit(vars[i]), PosLit(vars[i+1]))
+	}
+	s.AddClause(PosLit(vars[0]))
+	if res := s.Solve(); res != Sat {
+		t.Fatalf("Solve() = %v", res)
+	}
+	for i, v := range vars {
+		if !s.Value(v) {
+			t.Fatalf("var %d false, chain broken", i)
+		}
+	}
+}
+
+// pigeonhole builds PHP(p, h): p pigeons into h holes, one clause per
+// pigeon (it sits somewhere) and at-most-one per hole pair. Unsat iff p>h.
+func pigeonhole(s *Solver, pigeons, holes int) {
+	occ := make([][]Var, pigeons)
+	for p := 0; p < pigeons; p++ {
+		occ[p] = make([]Var, holes)
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			occ[p][h] = s.NewVar()
+			lits[h] = PosLit(occ[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(NegLit(occ[p1][h]), NegLit(occ[p2][h]))
+			}
+		}
+	}
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	s := New()
+	pigeonhole(s, 5, 4)
+	if res := s.Solve(); res != Unsat {
+		t.Fatalf("PHP(5,4) = %v, want Unsat", res)
+	}
+}
+
+func TestPigeonholeSat(t *testing.T) {
+	s := New()
+	pigeonhole(s, 4, 4)
+	if res := s.Solve(); res != Sat {
+		t.Fatalf("PHP(4,4) = %v, want Sat", res)
+	}
+}
+
+func TestConflictBudgetReturnsUnknown(t *testing.T) {
+	s := New()
+	pigeonhole(s, 9, 8) // hard enough to need >1 conflict
+	s.SetConflictBudget(1)
+	if res := s.Solve(); res != Unknown {
+		t.Fatalf("Solve() = %v, want Unknown under budget", res)
+	}
+}
+
+func TestDeadlineReturnsUnknown(t *testing.T) {
+	s := New()
+	pigeonhole(s, 10, 9)
+	s.SetDeadline(time.Now().Add(-time.Second))
+	res := s.Solve()
+	if res == Sat {
+		t.Fatalf("PHP(10,9) reported Sat")
+	}
+	// Either it solved extremely fast (Unsat) or hit the deadline.
+	if res != Unknown && res != Unsat {
+		t.Fatalf("Solve() = %v", res)
+	}
+}
+
+// bruteForce checks satisfiability of a CNF by enumeration.
+func bruteForce(nVars int, cnf [][]Lit) bool {
+	for m := 0; m < 1<<nVars; m++ {
+		ok := true
+		for _, cl := range cnf {
+			sat := false
+			for _, l := range cl {
+				val := m>>(l.Var())&1 == 1
+				if l.Sign() {
+					val = !val
+				}
+				if val {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRandom3SATAgainstBruteForce cross-checks the solver against
+// enumeration on hundreds of random small formulas, covering both sat and
+// unsat instances and model correctness.
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 400; iter++ {
+		nVars := 3 + rng.Intn(8)
+		nClauses := 2 + rng.Intn(nVars*5)
+		cnf := make([][]Lit, nClauses)
+		for i := range cnf {
+			k := 1 + rng.Intn(3)
+			cl := make([]Lit, k)
+			for j := range cl {
+				cl[j] = MkLit(Var(rng.Intn(nVars)), rng.Intn(2) == 0)
+			}
+			cnf[i] = cl
+		}
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		trivUnsat := false
+		for _, cl := range cnf {
+			if !s.AddClause(cl...) {
+				trivUnsat = true
+				break
+			}
+		}
+		want := bruteForce(nVars, cnf)
+		if trivUnsat {
+			if want {
+				t.Fatalf("iter %d: AddClause reported unsat but formula is sat: %v", iter, cnf)
+			}
+			continue
+		}
+		got := s.Solve()
+		if want && got != Sat {
+			t.Fatalf("iter %d: got %v, want Sat: %v", iter, got, cnf)
+		}
+		if !want && got != Unsat {
+			t.Fatalf("iter %d: got %v, want Unsat: %v", iter, got, cnf)
+		}
+		if got == Sat {
+			// Verify the model satisfies every clause.
+			for ci, cl := range cnf {
+				sat := false
+				for _, l := range cl {
+					if s.ValueLit(l) {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("iter %d: model violates clause %d: %v", iter, ci, cl)
+				}
+			}
+		}
+	}
+}
+
+func TestLubySequence(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestLitHelpers(t *testing.T) {
+	v := Var(7)
+	p, n := PosLit(v), NegLit(v)
+	if p.Var() != v || n.Var() != v {
+		t.Fatal("Var() mismatch")
+	}
+	if p.Sign() || !n.Sign() {
+		t.Fatal("Sign() mismatch")
+	}
+	if p.Neg() != n || n.Neg() != p {
+		t.Fatal("Neg() mismatch")
+	}
+	if MkLit(v, false) != p || MkLit(v, true) != n {
+		t.Fatal("MkLit mismatch")
+	}
+	if p.String() != "x7" || n.String() != "¬x7" || LitUndef.String() != "⊥" {
+		t.Fatalf("String() = %q / %q", p.String(), n.String())
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if Sat.String() != "sat" || Unsat.String() != "unsat" || Unknown.String() != "unknown" {
+		t.Fatal("Result.String mismatch")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	s := New()
+	pigeonhole(s, 5, 4)
+	s.Solve()
+	if s.Stats.Vars != 20 || s.Stats.Conflicts == 0 || s.Stats.Decisions == 0 {
+		t.Fatalf("stats = %+v", s.Stats)
+	}
+}
+
+func TestManyRestartsLargeRandomSat(t *testing.T) {
+	// A larger satisfiable instance that exercises restarts and reduceDB:
+	// a sparse random formula at low clause/var ratio is almost surely sat.
+	rng := rand.New(rand.NewSource(7))
+	s := New()
+	const n = 300
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+	for i := 0; i < n*3; i++ {
+		var cl [3]Lit
+		for j := range cl {
+			cl[j] = MkLit(Var(rng.Intn(n)), rng.Intn(2) == 0)
+		}
+		s.AddClause(cl[:]...)
+	}
+	if res := s.Solve(); res != Sat {
+		t.Fatalf("Solve() = %v", res)
+	}
+}
+
+func TestSetPhase(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.SetPhase(a, true)
+	s.SetPhase(b, false)
+	s.AddClause(PosLit(a), PosLit(b)) // satisfiable either way
+	if res := s.Solve(); res != Sat {
+		t.Fatalf("res = %v", res)
+	}
+	// Phases should be honored since no conflict forces otherwise.
+	if !s.Value(a) || s.Value(b) {
+		t.Fatalf("phases ignored: a=%v b=%v", s.Value(a), s.Value(b))
+	}
+}

@@ -1,0 +1,443 @@
+// Package ssg builds start-ordered serialization graphs (Adya's SSGs,
+// §2.2 of the paper): nodes are committed transactions and edges are
+// read- (wr), write- (ww), anti- (rw), and session-order (so)
+// dependencies. SSGs require a version order — the per-key total order of
+// writers — which a black-box checker does not know; this package is
+// therefore used where a version order is known or inferred: the Elle
+// baseline (sound list-append mode and unsound timestamp-inference mode),
+// the white-box fast path, and the anomaly classifiers.
+package ssg
+
+import (
+	"fmt"
+	"sort"
+
+	"viper/internal/history"
+)
+
+// DepKind is the Adya dependency type of an edge.
+type DepKind uint8
+
+const (
+	// WR is a read dependency: the target read the source's write.
+	WR DepKind = iota
+	// WW is a write dependency: the target overwrote the source's write.
+	WW
+	// RW is an anti-dependency: the source read a version the target
+	// overwrote.
+	RW
+	// SO is a session-order edge (the same client issued source before
+	// target).
+	SO
+)
+
+// String implements fmt.Stringer.
+func (k DepKind) String() string {
+	switch k {
+	case WR:
+		return "wr"
+	case WW:
+		return "ww"
+	case RW:
+		return "rw"
+	case SO:
+		return "so"
+	default:
+		return fmt.Sprintf("DepKind(%d)", uint8(k))
+	}
+}
+
+// Dep is one dependency edge.
+type Dep struct {
+	From, To history.TxnID
+	Kind     DepKind
+	Key      history.Key // zero for SO edges
+}
+
+// String implements fmt.Stringer.
+func (d Dep) String() string {
+	if d.Kind == SO {
+		return fmt.Sprintf("T%d --so--> T%d", d.From, d.To)
+	}
+	return fmt.Sprintf("T%d --%s(%s)--> T%d", d.From, d.Kind, d.Key, d.To)
+}
+
+// VersionOrder is a per-key total order of committed writer transactions.
+// The genesis transaction is implicitly first for every key and is not
+// listed.
+type VersionOrder map[history.Key][]history.TxnID
+
+// Writers indexes the committed transactions that wrote each key (by their
+// externally visible, i.e. last, write). Order within a slice is by
+// transaction id; it carries no semantic meaning.
+func Writers(h *history.History) map[history.Key][]history.TxnID {
+	w := make(map[history.Key][]history.TxnID)
+	for _, t := range h.Txns[1:] {
+		if !t.Committed() {
+			continue
+		}
+		for key := range t.LastWritePerKey() {
+			w[key] = append(w[key], t.ID)
+		}
+	}
+	return w
+}
+
+// Readers indexes, for each (key, writer) pair, the committed transactions
+// that externally read that writer's version of the key. The writer id
+// GenesisID collects reads of keys' initial versions.
+func Readers(h *history.History) map[history.Key]map[history.TxnID][]history.TxnID {
+	r := make(map[history.Key]map[history.TxnID][]history.TxnID)
+	for _, t := range h.Txns[1:] {
+		if !t.Committed() {
+			continue
+		}
+		t.ExternalReads(func(key history.Key, obs history.WriteID) {
+			ref, ok := h.WriterOf(obs)
+			if !ok {
+				return // Validate rejects such histories before we get here
+			}
+			m := r[key]
+			if m == nil {
+				m = make(map[history.TxnID][]history.TxnID)
+				r[key] = m
+			}
+			m[ref.Txn] = append(m[ref.Txn], t.ID)
+		})
+	}
+	return r
+}
+
+// InferFromRMW derives a version order from read-modify-write chains: if
+// every writer of a key (except possibly the first) also read the key and
+// observed its predecessor's write, the write order of that key is fully
+// manifested in the history — exactly the property the Jepsen list-append
+// workload engineers (§7.1). It returns the version order and whether
+// every key's order was completely determined.
+func InferFromRMW(h *history.History) (VersionOrder, bool) {
+	writers := Writers(h)
+	vo := make(VersionOrder, len(writers))
+	complete := true
+	for key, ws := range writers {
+		pred := make(map[history.TxnID]history.TxnID, len(ws)) // writer -> predecessor writer
+		indeg := make(map[history.TxnID]int, len(ws))
+		for _, w := range ws {
+			indeg[w] = 0
+		}
+		ok := true
+		for _, w := range ws {
+			t := h.Txns[w]
+			found := false
+			t.ExternalReads(func(k history.Key, obs history.WriteID) {
+				if k != key || found {
+					return
+				}
+				ref, _ := h.WriterOf(obs)
+				pred[w] = ref.Txn
+				found = true
+			})
+			if !found {
+				// Blind write: chain broken unless it is the unique head.
+				pred[w] = history.GenesisID
+			}
+		}
+		// Chain by successors; detect branching (two writers with the same
+		// predecessor) which leaves the order ambiguous.
+		succ := make(map[history.TxnID]history.TxnID, len(ws))
+		for w, p := range pred {
+			if _, dup := succ[p]; dup {
+				ok = false
+				break
+			}
+			succ[p] = w
+		}
+		if !ok || len(succ) != len(ws) {
+			complete = false
+			// Fall back: keep whatever prefix chains from genesis.
+		}
+		order := make([]history.TxnID, 0, len(ws))
+		seen := make(map[history.TxnID]bool, len(ws))
+		cur := history.GenesisID
+		for {
+			next, okNext := succ[cur]
+			if !okNext || seen[next] {
+				break
+			}
+			order = append(order, next)
+			seen[next] = true
+			cur = next
+		}
+		if len(order) != len(ws) {
+			complete = false
+			// Append the unchained writers deterministically so the caller
+			// still gets a (possibly wrong) total order.
+			rest := make([]history.TxnID, 0, len(ws)-len(order))
+			for _, w := range ws {
+				if !seen[w] {
+					rest = append(rest, w)
+				}
+			}
+			sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+			order = append(order, rest...)
+		}
+		vo[key] = order
+	}
+	return vo, complete
+}
+
+// InferFromTimestamps guesses a version order by sorting each key's
+// writers by their client-side commit timestamps. This is the unsound
+// heuristic inference the paper attributes to Elle's register mode (§8):
+// plausible for real databases, but with no guarantee, so a checker built
+// on it may accept non-SI histories.
+func InferFromTimestamps(h *history.History) VersionOrder {
+	writers := Writers(h)
+	vo := make(VersionOrder, len(writers))
+	for key, ws := range writers {
+		order := append([]history.TxnID(nil), ws...)
+		sort.Slice(order, func(i, j int) bool {
+			a, b := h.Txns[order[i]], h.Txns[order[j]]
+			if a.CommitAt != b.CommitAt {
+				return a.CommitAt < b.CommitAt
+			}
+			return a.ID < b.ID
+		})
+		vo[key] = order
+	}
+	return vo
+}
+
+// Graph is a start-ordered serialization graph with its dependency edges
+// split by weight class: zero-weight (wr, ww, so) and anti-dependencies
+// (rw), matching the cycle conditions of Adya SI (Definition 1).
+type Graph struct {
+	h    *history.History
+	deps []Dep
+
+	out0 [][]int32 // adjacency over zero-weight deps, indexed by TxnID
+	dep0 [][]int32 // parallel to out0: index into deps
+	rws  []int32   // indices into deps of RW edges
+}
+
+// Build constructs the SSG of h under the given version order, with
+// session-order edges if withSO is set (Strong Session SI-style checking).
+func Build(h *history.History, vo VersionOrder, withSO bool) *Graph {
+	g := &Graph{h: h}
+	n := len(h.Txns)
+	g.out0 = make([][]int32, n)
+	g.dep0 = make([][]int32, n)
+
+	addDep := func(d Dep) {
+		if d.From == d.To {
+			return
+		}
+		g.deps = append(g.deps, d)
+		idx := int32(len(g.deps) - 1)
+		if d.Kind == RW {
+			g.rws = append(g.rws, idx)
+			return
+		}
+		g.out0[d.From] = append(g.out0[d.From], int32(d.To))
+		g.dep0[d.From] = append(g.dep0[d.From], idx)
+	}
+
+	readers := Readers(h)
+
+	// wr edges.
+	for key, byWriter := range readers {
+		for w, rs := range byWriter {
+			for _, r := range rs {
+				addDep(Dep{From: w, To: r, Kind: WR, Key: key})
+			}
+		}
+	}
+
+	// ww edges along the version order (genesis implicitly first), and rw
+	// edges: a reader of version i anti-depends on the installer of
+	// version i+1.
+	for key, order := range vo {
+		prev := history.GenesisID
+		for _, w := range order {
+			addDep(Dep{From: prev, To: w, Kind: WW, Key: key})
+			if byWriter := readers[key]; byWriter != nil {
+				for _, r := range byWriter[prev] {
+					addDep(Dep{From: r, To: w, Kind: RW, Key: key})
+				}
+			}
+			prev = w
+		}
+	}
+
+	// Session-order edges between consecutive committed transactions of a
+	// session.
+	if withSO {
+		for _, txns := range h.Sessions {
+			var prev history.TxnID = -1
+			for _, id := range txns {
+				if !h.Txns[id].Committed() {
+					continue
+				}
+				if prev >= 0 {
+					addDep(Dep{From: prev, To: id, Kind: SO})
+				}
+				prev = id
+			}
+		}
+	}
+	return g
+}
+
+// Deps returns all dependency edges.
+func (g *Graph) Deps() []Dep { return g.deps }
+
+// Cycle is a dependency cycle with its Adya classification.
+type Cycle struct {
+	Deps []Dep
+	// AntiDeps is the number of RW edges on the cycle (0 ⇒ G1c-class,
+	// 1 ⇒ G-SIb).
+	AntiDeps int
+}
+
+// String implements fmt.Stringer.
+func (c *Cycle) String() string {
+	s := ""
+	for i, d := range c.Deps {
+		if i > 0 {
+			s += ", "
+		}
+		s += d.String()
+	}
+	return s
+}
+
+// FindForbiddenCycle searches for a cycle with zero or one
+// anti-dependency edge — the cycles Adya SI proscribes (Definition 1,
+// conditions 1 and 2). It returns nil if none exists. Cycles with two or
+// more anti-dependencies are permitted under SI (write skew).
+func (g *Graph) FindForbiddenCycle() *Cycle {
+	n := len(g.out0)
+
+	// Zero-weight cycle (G1c class): DFS over wr/ww/so edges.
+	if cyc := acyclicCycle(n, g.out0); cyc != nil {
+		deps := make([]Dep, 0, len(cyc))
+		for i := range cyc {
+			from, to := cyc[i], cyc[(i+1)%len(cyc)]
+			deps = append(deps, g.lookup0(from, to))
+		}
+		return &Cycle{Deps: deps, AntiDeps: 0}
+	}
+
+	// One-anti-dep cycle (G-SIb): for each rw edge a→b, a zero-weight path
+	// b ⇝ a closes a forbidden cycle.
+	parent := make([]int32, n)
+	visited := make([]bool, n)
+	for _, ri := range g.rws {
+		rd := g.deps[ri]
+		if path := bfsPath(g.out0, int32(rd.To), int32(rd.From), parent, visited); path != nil {
+			deps := []Dep{rd}
+			for i := 0; i+1 < len(path); i++ {
+				deps = append(deps, g.lookup0(path[i], path[i+1]))
+			}
+			return &Cycle{Deps: deps, AntiDeps: 1}
+		}
+	}
+	return nil
+}
+
+func (g *Graph) lookup0(from, to int32) Dep {
+	for i, w := range g.out0[from] {
+		if w == to {
+			return g.deps[g.dep0[from][i]]
+		}
+	}
+	panic("ssg: missing zero-weight dep")
+}
+
+// acyclicCycle is a DFS cycle finder returning a node cycle or nil.
+func acyclicCycle(n int, out [][]int32) []int32 {
+	color := make([]int8, n)
+	parent := make([]int32, n)
+	type frame struct {
+		node int32
+		next int
+	}
+	var stack []frame
+	for s := int32(0); int(s) < n; s++ {
+		if color[s] != 0 {
+			continue
+		}
+		color[s] = 1
+		parent[s] = -1
+		stack = append(stack[:0], frame{s, 0})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(out[f.node]) {
+				w := out[f.node][f.next]
+				f.next++
+				switch color[w] {
+				case 0:
+					color[w] = 1
+					parent[w] = f.node
+					stack = append(stack, frame{w, 0})
+				case 1:
+					var cyc []int32
+					for x := f.node; x != w; x = parent[x] {
+						cyc = append(cyc, x)
+					}
+					cyc = append(cyc, w)
+					for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+						cyc[i], cyc[j] = cyc[j], cyc[i]
+					}
+					return cyc
+				}
+			} else {
+				color[f.node] = 2
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// bfsPath finds a path src⇝dst over out edges, returning the node path or
+// nil. parent/visited are caller-provided scratch of size n.
+func bfsPath(out [][]int32, src, dst int32, parent []int32, visited []bool) []int32 {
+	if src == dst {
+		return []int32{src}
+	}
+	queue := []int32{src}
+	visited[src] = true
+	parent[src] = -1
+	var marked []int32
+	marked = append(marked, src)
+	found := false
+	for qi := 0; qi < len(queue) && !found; qi++ {
+		n := queue[qi]
+		for _, w := range out[n] {
+			if visited[w] {
+				continue
+			}
+			visited[w] = true
+			parent[w] = n
+			marked = append(marked, w)
+			if w == dst {
+				found = true
+				break
+			}
+			queue = append(queue, w)
+		}
+	}
+	var path []int32
+	if found {
+		for x := dst; x != -1; x = parent[x] {
+			path = append(path, x)
+		}
+		for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+			path[i], path[j] = path[j], path[i]
+		}
+	}
+	for _, m := range marked {
+		visited[m] = false
+	}
+	return path
+}

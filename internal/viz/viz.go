@@ -1,0 +1,154 @@
+// Package viz renders polygraphs, serialization graphs, and
+// counterexample cycles as Graphviz DOT, for debugging checker verdicts
+// and for the paper-style figures (Figures 2, 3, 5, 6 are all drawings of
+// these structures).
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"viper/internal/core"
+	"viper/internal/history"
+	"viper/internal/ssg"
+)
+
+// edgeColor assigns a display color per dependency kind.
+func edgeColor(kind core.EdgeKind) string {
+	switch kind {
+	case core.EdgeWR:
+		return "blue"
+	case core.EdgeWW:
+		return "black"
+	case core.EdgeRW:
+		return "red"
+	case core.EdgeSession:
+		return "purple"
+	case core.EdgeRealTime:
+		return "gray"
+	case core.EdgeHeuristic:
+		return "orange"
+	default:
+		return "black"
+	}
+}
+
+// WritePolygraph renders a BC-polygraph: solid known edges (colored by
+// kind), and dashed constraint alternatives connected per constraint
+// group, mirroring the paper's Figure 2 notation. highlight, if non-nil,
+// marks a set of edges (e.g. a counterexample cycle) in bold red.
+func WritePolygraph(w io.Writer, pg *core.Polygraph, highlight []core.KnownEdge) error {
+	var b strings.Builder
+	b.WriteString("digraph bcpolygraph {\n  rankdir=LR;\n  node [shape=circle, fontsize=10];\n")
+
+	hl := make(map[core.Edge]bool, len(highlight))
+	for _, ke := range highlight {
+		hl[ke.Edge] = true
+	}
+
+	// Nodes: only those touched by an edge or constraint, to keep large
+	// graphs readable.
+	used := make(map[int32]bool)
+	mark := func(e core.Edge) { used[e.From] = true; used[e.To] = true }
+	for _, ke := range pg.Known {
+		mark(ke.Edge)
+	}
+	for _, c := range pg.Cons {
+		for _, e := range c.First {
+			mark(e)
+		}
+		for _, e := range c.Second {
+			mark(e)
+		}
+	}
+	ids := make([]int32, 0, len(used))
+	for n := range used {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, n := range ids {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", n, pg.NodeName(n))
+	}
+
+	for _, ke := range pg.Known {
+		style := fmt.Sprintf("color=%s", edgeColor(ke.Kind))
+		if hl[ke.Edge] {
+			style = "color=red, penwidth=3"
+		}
+		label := ke.Kind.String()
+		if ke.Key != "" {
+			label += "(" + string(ke.Key) + ")"
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [%s, label=%q, fontsize=8];\n",
+			ke.From, ke.To, style, label)
+	}
+	for i, c := range pg.Cons {
+		for _, e := range c.First {
+			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, color=darkgreen, label=\"c%d\", fontsize=8];\n",
+				e.From, e.To, i)
+		}
+		for _, e := range c.Second {
+			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, color=darkgoldenrod, label=\"c%d'\", fontsize=8];\n",
+				e.From, e.To, i)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteSSG renders an Adya serialization graph with one node per
+// transaction, highlighting an optional forbidden cycle.
+func WriteSSG(w io.Writer, h *history.History, g *ssg.Graph, cycle *ssg.Cycle) error {
+	var b strings.Builder
+	b.WriteString("digraph ssg {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+
+	inCycle := make(map[ssg.Dep]bool)
+	if cycle != nil {
+		for _, d := range cycle.Deps {
+			inCycle[d] = true
+		}
+	}
+	used := make(map[history.TxnID]bool)
+	for _, d := range g.Deps() {
+		used[d.From] = true
+		used[d.To] = true
+	}
+	ids := make([]history.TxnID, 0, len(used))
+	for id := range used {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		name := fmt.Sprintf("T%d", id)
+		if id == history.GenesisID {
+			name = "genesis"
+		}
+		fmt.Fprintf(&b, "  t%d [label=%q];\n", id, name)
+	}
+	for _, d := range g.Deps() {
+		color := "black"
+		switch d.Kind {
+		case ssg.WR:
+			color = "blue"
+		case ssg.RW:
+			color = "red"
+		case ssg.SO:
+			color = "purple"
+		}
+		style := fmt.Sprintf("color=%s", color)
+		if inCycle[d] {
+			style += ", penwidth=3"
+		}
+		label := d.Kind.String()
+		if d.Key != "" {
+			label += "(" + string(d.Key) + ")"
+		}
+		fmt.Fprintf(&b, "  t%d -> t%d [%s, label=%q, fontsize=8];\n", d.From, d.To, style, label)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

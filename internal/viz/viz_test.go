@@ -1,0 +1,77 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"viper/internal/core"
+	"viper/internal/history"
+	"viper/internal/ssg"
+)
+
+func figure2(t *testing.T) *history.History {
+	t.Helper()
+	b := history.NewBuilder()
+	s1, s2, s3 := b.Session(), b.Session(), b.Session()
+	t1 := s1.Txn().Write("x").Commit()
+	s2.Txn().Write("x").Commit()
+	s3.Txn().ReadObserved("x", t1.WriteIDOf("x")).Commit()
+	return b.MustHistory()
+}
+
+func TestWritePolygraphContainsStructure(t *testing.T) {
+	h := figure2(t)
+	pg := core.Build(h, core.Options{Level: core.AdyaSI})
+	var buf bytes.Buffer
+	if err := WritePolygraph(&buf, pg, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph bcpolygraph", `label="B1"`, `label="C1"`, "wr(x)", "style=dashed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatal("DOT not closed")
+	}
+}
+
+func TestWritePolygraphHighlightsCycle(t *testing.T) {
+	// A rejecting history whose known graph carries the cycle.
+	b := history.NewBuilder()
+	s1, s2 := b.Session(), b.Session()
+	wy := history.WriteID(2)
+	s1.Txn().ReadGenesis("x").ReadObserved("y", wy).Commit()
+	s2.Txn().Write("x").Write("y").Commit()
+	h := b.MustHistory()
+	rep := core.CheckHistory(h, core.Options{Level: core.AdyaSI})
+	if rep.Outcome != core.Reject || rep.KnownCycle == nil {
+		t.Fatalf("setup: %v", rep.Outcome)
+	}
+	pg := core.Build(h, core.Options{Level: core.AdyaSI})
+	var buf bytes.Buffer
+	if err := WritePolygraph(&buf, pg, rep.KnownCycle); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "penwidth=3") {
+		t.Fatal("cycle not highlighted")
+	}
+}
+
+func TestWriteSSG(t *testing.T) {
+	h := figure2(t)
+	vo, _ := ssg.InferFromRMW(h)
+	g := ssg.Build(h, vo, true)
+	var buf bytes.Buffer
+	if err := WriteSSG(&buf, h, g, g.FindForbiddenCycle()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph ssg", "genesis", "wr(x)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}

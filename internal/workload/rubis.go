@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+)
+
+// RUBiS approximates the C-RUBiS macrobenchmark (§7): an eBay-like
+// bidding site. The paper's configuration is 20 000 users and 80 000
+// items; both are parameters here. The action mix follows Cobra Bench's
+// RUBiS: mostly item views and bids with occasional registrations,
+// buy-nows, and comments. Bidding contends on per-item max-bid keys —
+// blind-ish writes mixed with RMWs, the workload where heuristic pruning
+// is vital (Figure 11).
+type RUBiS struct {
+	// Users and Items size the data set.
+	Users, Items int
+
+	nextUser atomic.Int64
+	nextBid  atomic.Int64
+}
+
+// NewRUBiS returns a RUBiS generator; pass (20000, 80000) for the paper's
+// configuration.
+func NewRUBiS(users, items int) *RUBiS {
+	r := &RUBiS{Users: users, Items: items}
+	r.nextUser.Store(int64(users))
+	return r
+}
+
+// Name implements Generator.
+func (r *RUBiS) Name() string { return "C-RUBiS" }
+
+func userKey(u int64) string { return fmt.Sprintf("u:%07d:rating", u) }
+func itemKey(i int) string   { return fmt.Sprintf("it:%07d:desc", i) }
+func maxBidKey(i int) string { return fmt.Sprintf("it:%07d:maxbid", i) }
+func qtyKey(i int) string    { return fmt.Sprintf("it:%07d:qty", i) }
+
+// Next implements Generator.
+func (r *RUBiS) Next(rng *rand.Rand) Txn {
+	item := rng.Intn(r.Items)
+	user := int64(rng.Intn(r.Users))
+	var ops []Op
+	switch weighted(rng, []int{5, 25, 35, 10, 10, 10, 5}) {
+	case 0: // register user
+		u := r.nextUser.Add(1)
+		ops = append(ops,
+			Op{Kind: OpInsert, Key: fmt.Sprintf("u:%07d:profile", u), Payload: "new"},
+			Op{Kind: OpWrite, Key: userKey(u), Payload: "0"},
+		)
+	case 1: // place bid: read item, write max bid, insert bid record
+		bid := r.nextBid.Add(1)
+		ops = append(ops,
+			Op{Kind: OpRead, Key: itemKey(item)},
+			Op{Kind: OpRead, Key: maxBidKey(item)},
+			Op{Kind: OpWrite, Key: maxBidKey(item), Payload: fmt.Sprintf("%d", bid)},
+			Op{Kind: OpInsert, Key: fmt.Sprintf("bid:%09d", bid), Payload: fmt.Sprintf("u=%d it=%d", user, item)},
+		)
+	case 2: // view item
+		ops = append(ops,
+			Op{Kind: OpRead, Key: itemKey(item)},
+			Op{Kind: OpRead, Key: maxBidKey(item)},
+			Op{Kind: OpRead, Key: qtyKey(item)},
+		)
+	case 3: // buy now
+		ops = append(ops,
+			Op{Kind: OpRead, Key: itemKey(item)},
+			Op{Kind: OpRMW, Key: qtyKey(item), Payload: "-1"},
+		)
+	case 4: // view user
+		ops = append(ops,
+			Op{Kind: OpRead, Key: userKey(user)},
+			Op{Kind: OpRead, Key: fmt.Sprintf("u:%07d:profile", user)},
+		)
+	case 5: // store comment: rate the seller, insert the comment
+		ops = append(ops,
+			Op{Kind: OpRMW, Key: userKey(user), Payload: "+1"},
+			Op{Kind: OpInsert, Key: fmt.Sprintf("cmt:%09d", r.nextBid.Add(1)), Payload: "text"},
+		)
+	case 6: // about me: own profile plus recent bids
+		ops = append(ops, Op{Kind: OpRead, Key: fmt.Sprintf("u:%07d:profile", user)})
+		if max := r.nextBid.Load(); max > 0 {
+			for i := 0; i < 3; i++ {
+				ops = append(ops, Op{Kind: OpRead, Key: fmt.Sprintf("bid:%09d", 1+rng.Int63n(max))})
+			}
+		}
+	}
+	return Txn{Ops: ops}
+}

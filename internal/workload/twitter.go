@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+)
+
+// Twitter approximates the C-Twitter macrobenchmark (§7): a tiny Twitter
+// with a fixed user population (1000 in the paper). Users tweet (insert +
+// counter RMW), follow each other (RMW on adjacency keys), and read
+// timelines (bursts of reads over followees' latest tweets).
+type Twitter struct {
+	// Users is the user-population size.
+	Users int
+
+	tweetSeq []atomic.Int64 // per-user tweet counter
+}
+
+// NewTwitter returns a generator over the given user count (1000 in the
+// paper).
+func NewTwitter(users int) *Twitter {
+	return &Twitter{Users: users, tweetSeq: make([]atomic.Int64, users)}
+}
+
+// Name implements Generator.
+func (t *Twitter) Name() string { return "C-Twitter" }
+
+func tweetKey(u int, n int64) string { return fmt.Sprintf("tw:%05d:%07d", u, n) }
+func ntweetsKey(u int) string        { return fmt.Sprintf("us:%05d:ntweets", u) }
+
+// Next implements Generator.
+func (t *Twitter) Next(rng *rand.Rand) Txn {
+	u := rng.Intn(t.Users)
+	var ops []Op
+	switch weighted(rng, []int{20, 10, 50, 20}) {
+	case 0: // tweet
+		n := t.tweetSeq[u].Add(1)
+		ops = append(ops,
+			Op{Kind: OpInsert, Key: tweetKey(u, n), Payload: "tweet!"},
+			Op{Kind: OpRMW, Key: ntweetsKey(u), Payload: "+1"},
+		)
+	case 1: // follow
+		v := rng.Intn(t.Users)
+		ops = append(ops,
+			Op{Kind: OpRMW, Key: fmt.Sprintf("us:%05d:following", u), Payload: fmt.Sprintf(",%d", v)},
+			Op{Kind: OpRMW, Key: fmt.Sprintf("us:%05d:followers", v), Payload: fmt.Sprintf(",%d", u)},
+		)
+	case 2: // timeline: read a handful of followees' latest tweets
+		ops = append(ops, Op{Kind: OpRead, Key: fmt.Sprintf("us:%05d:following", u)})
+		for i := 0; i < 6; i++ {
+			f := rng.Intn(t.Users)
+			ops = append(ops, Op{Kind: OpRead, Key: ntweetsKey(f)})
+			if n := t.tweetSeq[f].Load(); n > 0 {
+				ops = append(ops, Op{Kind: OpRead, Key: tweetKey(f, 1+rng.Int63n(n))})
+			}
+		}
+	case 3: // profile
+		ops = append(ops,
+			Op{Kind: OpRead, Key: ntweetsKey(u)},
+			Op{Kind: OpRead, Key: fmt.Sprintf("us:%05d:followers", u)},
+		)
+	}
+	return Txn{Ops: ops}
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+)
+
+// VRange is the V-Range microbenchmark (§7): five operation types — reads,
+// writes, inserts, deletes, and range queries — over positive integer
+// keys. Each transaction contains eight operations of a single type.
+// Inserts either add a fresh key (incrementing the maximum) or re-insert
+// an existing one; deletes target random existing keys; range queries
+// query a random range within [1, maxKey].
+type VRange struct {
+	// Weights are the percentages of {read, write, insert, delete, range}
+	// transactions; they must sum to 100.
+	Weights [5]int
+
+	name   string
+	maxKey atomic.Int64
+}
+
+// NewRangeB returns Range-B (balanced): 20% of each type.
+func NewRangeB() *VRange {
+	return &VRange{Weights: [5]int{20, 20, 20, 20, 20}, name: "Range-B"}
+}
+
+// NewRangeRQH returns Range-RQH (range-query heavy): 50% range queries,
+// 12.5% of the others.
+func NewRangeRQH() *VRange {
+	// 12.5% each is approximated as 13/13/12/12 to keep integer weights.
+	return &VRange{Weights: [5]int{13, 13, 12, 12, 50}, name: "Range-RQH"}
+}
+
+// NewRangeIDH returns Range-IDH (insert/delete heavy): 35% inserts, 35%
+// deletes, 10% of each other type.
+func NewRangeIDH() *VRange {
+	return &VRange{Weights: [5]int{10, 10, 35, 35, 10}, name: "Range-IDH"}
+}
+
+// Name implements Generator.
+func (v *VRange) Name() string { return v.name }
+
+func rangeKey(n int64) string { return fmt.Sprintf("r%09d", n) }
+
+// Next implements Generator.
+func (v *VRange) Next(rng *rand.Rand) Txn {
+	const opsPerTxn = 8
+	kind := weighted(rng, v.Weights[:])
+	ops := make([]Op, opsPerTxn)
+	for i := range ops {
+		max := v.maxKey.Load()
+		existing := func() string {
+			if max == 0 {
+				return rangeKey(1)
+			}
+			return rangeKey(1 + rng.Int63n(max))
+		}
+		switch kind {
+		case 0:
+			ops[i] = Op{Kind: OpRead, Key: existing()}
+		case 1:
+			ops[i] = Op{Kind: OpWrite, Key: existing(), Payload: "v"}
+		case 2:
+			if max == 0 || rng.Intn(2) == 0 {
+				ops[i] = Op{Kind: OpInsert, Key: rangeKey(v.maxKey.Add(1)), Payload: "v"}
+			} else {
+				ops[i] = Op{Kind: OpInsert, Key: existing(), Payload: "v"} // re-insert
+			}
+		case 3:
+			ops[i] = Op{Kind: OpDelete, Key: existing()}
+		case 4:
+			if max == 0 {
+				max = 1
+			}
+			lo := 1 + rng.Int63n(max)
+			hi := lo + rng.Int63n(max-lo+1)
+			ops[i] = Op{Kind: OpRange, Lo: rangeKey(lo), Hi: rangeKey(hi)}
+		}
+	}
+	return Txn{Ops: ops}
+}

@@ -1,0 +1,157 @@
+// Package workload implements the paper's benchmark transaction
+// generators (§7): the microbenchmarks V-BlindW (read-mostly and
+// read-write mixes of blind 8-op transactions) and V-Range (reads, writes,
+// inserts, deletes and range queries), the macrobenchmarks C-TPCC,
+// C-RUBiS, and C-Twitter borrowed from Cobra Bench, and the Jepsen-style
+// list-append workload whose read-modify-writes manifest the write order
+// (used to compare against Elle's sound mode, Figure 9).
+//
+// A Generator emits transaction programs; package runner executes them
+// against the mvcc engine through history collectors.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+)
+
+// OpKind is a program-level operation.
+type OpKind uint8
+
+const (
+	// OpRead reads a key.
+	OpRead OpKind = iota
+	// OpWrite writes a key blindly (no preceding read).
+	OpWrite
+	// OpRMW reads a key and writes it (the runner appends the payload to
+	// the observed value, so RMW chains manifest write order).
+	OpRMW
+	// OpInsert inserts a key (no-op if it is live).
+	OpInsert
+	// OpDelete deletes a key (no-op if it is absent).
+	OpDelete
+	// OpRange runs a range query over [Lo, Hi].
+	OpRange
+)
+
+// Op is one step of a transaction program.
+type Op struct {
+	Kind    OpKind
+	Key     string
+	Payload string
+	Lo, Hi  string
+}
+
+// Txn is a transaction program.
+type Txn struct {
+	Ops []Op
+}
+
+// Generator produces transaction programs. Implementations are safe for
+// concurrent use by multiple client goroutines.
+type Generator interface {
+	// Name identifies the benchmark ("BlindW-RW", "C-TPCC", ...).
+	Name() string
+	// Next returns the next transaction program, using the caller's rng
+	// for per-client randomness.
+	Next(rng *rand.Rand) Txn
+}
+
+// weighted picks an index from cumulative percentage weights.
+func weighted(rng *rand.Rand, weights []int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	x := rng.Intn(total)
+	for i, w := range weights {
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}
+
+// BlindW is the V-BlindW microbenchmark: transactions are either read-only
+// or write-only, eight operations each, over a fixed integer key space.
+type BlindW struct {
+	// ReadRatio is the fraction of read-only transactions (0.9 for
+	// BlindW-RM, 0.5 for BlindW-RW).
+	ReadRatio float64
+	// Keys is the key-space size (2000 in the paper).
+	Keys int
+
+	name string
+}
+
+// NewBlindWRW returns the 50/50 BlindW-RW variant over 2000 keys.
+func NewBlindWRW() *BlindW { return &BlindW{ReadRatio: 0.5, Keys: 2000, name: "BlindW-RW"} }
+
+// NewBlindWRM returns the 90% read-only BlindW-RM variant over 2000 keys.
+func NewBlindWRM() *BlindW { return &BlindW{ReadRatio: 0.9, Keys: 2000, name: "BlindW-RM"} }
+
+// Name implements Generator.
+func (b *BlindW) Name() string {
+	if b.name == "" {
+		return "BlindW"
+	}
+	return b.name
+}
+
+// Next implements Generator.
+func (b *BlindW) Next(rng *rand.Rand) Txn {
+	const opsPerTxn = 8
+	readOnly := rng.Float64() < b.ReadRatio
+	ops := make([]Op, opsPerTxn)
+	for i := range ops {
+		key := fmt.Sprintf("k%06d", rng.Intn(b.Keys))
+		if readOnly {
+			ops[i] = Op{Kind: OpRead, Key: key}
+		} else {
+			ops[i] = Op{Kind: OpWrite, Key: key, Payload: "v"}
+		}
+	}
+	return Txn{Ops: ops}
+}
+
+// Append is the Jepsen-style list-append workload: every update is a
+// read-modify-write that appends an element to a keyed list, so the
+// history fully manifests each key's write order (the checker's
+// BC-polygraph then has no constraints; §7.1).
+type Append struct {
+	// Keys is the number of list keys.
+	Keys int
+	// OpsPerTxn is the number of appends/reads per transaction.
+	OpsPerTxn int
+	// AppendRatio is the fraction of appends among operations.
+	AppendRatio float64
+
+	elem atomic.Int64
+}
+
+// NewAppend returns the default append workload (16 keys, 4 ops/txn,
+// 75% appends).
+func NewAppend() *Append { return &Append{Keys: 16, OpsPerTxn: 4, AppendRatio: 0.75} }
+
+// Name implements Generator.
+func (a *Append) Name() string { return "jepsen-append" }
+
+// Next implements Generator.
+func (a *Append) Next(rng *rand.Rand) Txn {
+	n := a.OpsPerTxn
+	if n == 0 {
+		n = 4
+	}
+	ops := make([]Op, n)
+	for i := range ops {
+		key := fmt.Sprintf("list%04d", rng.Intn(a.Keys))
+		if rng.Float64() < a.AppendRatio {
+			ops[i] = Op{Kind: OpRMW, Key: key, Payload: fmt.Sprintf(",%d", a.elem.Add(1))}
+		} else {
+			ops[i] = Op{Kind: OpRead, Key: key}
+		}
+	}
+	return Txn{Ops: ops}
+}

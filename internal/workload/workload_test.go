@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNames(t *testing.T) {
+	cases := map[Generator]string{
+		NewBlindWRW():    "BlindW-RW",
+		NewBlindWRM():    "BlindW-RM",
+		NewRangeB():      "Range-B",
+		NewRangeRQH():    "Range-RQH",
+		NewRangeIDH():    "Range-IDH",
+		NewTPCC(10):      "C-TPCC",
+		NewRUBiS(10, 20): "C-RUBiS",
+		NewTwitter(10):   "C-Twitter",
+		NewAppend():      "jepsen-append",
+		&BlindW{Keys: 1}: "BlindW",
+	}
+	for g, want := range cases {
+		if g.Name() != want {
+			t.Errorf("Name() = %q, want %q", g.Name(), want)
+		}
+	}
+}
+
+func TestBlindWShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewBlindWRW()
+	reads, writes := 0, 0
+	for i := 0; i < 400; i++ {
+		tx := g.Next(rng)
+		if len(tx.Ops) != 8 {
+			t.Fatalf("txn has %d ops", len(tx.Ops))
+		}
+		kind := tx.Ops[0].Kind
+		for _, op := range tx.Ops {
+			if op.Kind != kind {
+				t.Fatal("mixed transaction in BlindW")
+			}
+			if !strings.HasPrefix(op.Key, "k") {
+				t.Fatalf("bad key %q", op.Key)
+			}
+		}
+		if kind == OpRead {
+			reads++
+		} else {
+			writes++
+		}
+	}
+	// 50/50 split within generous bounds.
+	if reads < 120 || writes < 120 {
+		t.Fatalf("reads=%d writes=%d, want roughly balanced", reads, writes)
+	}
+}
+
+func TestBlindWRMIsReadMostly(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := NewBlindWRM()
+	reads := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if g.Next(rng).Ops[0].Kind == OpRead {
+			reads++
+		}
+	}
+	if reads < 850 || reads > 950 {
+		t.Fatalf("read-only fraction %d/%d, want ≈90%%", reads, n)
+	}
+}
+
+func TestVRangeSingleTypePerTxn(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, g := range []*VRange{NewRangeB(), NewRangeRQH(), NewRangeIDH()} {
+		sawRange := false
+		for i := 0; i < 200; i++ {
+			tx := g.Next(rng)
+			if len(tx.Ops) != 8 {
+				t.Fatalf("%s: %d ops", g.Name(), len(tx.Ops))
+			}
+			for _, op := range tx.Ops {
+				if op.Kind == OpRange {
+					sawRange = true
+					if op.Lo > op.Hi {
+						t.Fatalf("inverted range %q > %q", op.Lo, op.Hi)
+					}
+				}
+			}
+		}
+		if !sawRange {
+			t.Fatalf("%s: no range queries in 200 txns", g.Name())
+		}
+		if g.maxKey.Load() == 0 {
+			t.Fatalf("%s: no fresh inserts allocated", g.Name())
+		}
+	}
+}
+
+func TestVRangeWeightsSumTo100(t *testing.T) {
+	for _, g := range []*VRange{NewRangeB(), NewRangeRQH(), NewRangeIDH()} {
+		sum := 0
+		for _, w := range g.Weights {
+			sum += w
+		}
+		if sum != 100 {
+			t.Errorf("%s weights sum to %d", g.Name(), sum)
+		}
+	}
+}
+
+func TestTPCCMixesAllTypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := NewTPCC(100)
+	var sawInsert, sawRMW, sawReadOnly bool
+	for i := 0; i < 500; i++ {
+		tx := g.Next(rng)
+		writes := 0
+		for _, op := range tx.Ops {
+			switch op.Kind {
+			case OpInsert:
+				sawInsert = true
+				writes++
+			case OpRMW, OpWrite:
+				sawRMW = true
+				writes++
+			}
+		}
+		if writes == 0 && len(tx.Ops) > 0 {
+			sawReadOnly = true
+		}
+	}
+	if !sawInsert || !sawRMW || !sawReadOnly {
+		t.Fatalf("insert=%v rmw=%v readonly=%v", sawInsert, sawRMW, sawReadOnly)
+	}
+}
+
+func TestWeightedDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	counts := make([]int, 3)
+	for i := 0; i < 10000; i++ {
+		counts[weighted(rng, []int{70, 20, 10})]++
+	}
+	if counts[0] < 6500 || counts[0] > 7500 || counts[2] > 1500 {
+		t.Fatalf("weighted counts = %v", counts)
+	}
+}
+
+func TestAppendAllocatesUniqueElements(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := NewAppend()
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		for _, op := range g.Next(rng).Ops {
+			if op.Kind == OpRMW {
+				if seen[op.Payload] {
+					t.Fatalf("duplicate append element %q", op.Payload)
+				}
+				seen[op.Payload] = true
+			}
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no appends generated")
+	}
+}
+
+func TestTwitterAndRUBiSProduceOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, g := range []Generator{NewTwitter(50), NewRUBiS(50, 100)} {
+		nonEmpty := 0
+		for i := 0; i < 300; i++ {
+			if len(g.Next(rng).Ops) > 0 {
+				nonEmpty++
+			}
+		}
+		if nonEmpty < 290 {
+			t.Fatalf("%s: only %d/300 non-empty txns", g.Name(), nonEmpty)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package viper is a fast black-box snapshot-isolation (SI) checker — a
+// from-scratch Go implementation of "Viper: A Fast Snapshot Isolation
+// Checker" (EuroSys 2023).
+//
+// Given a history — the transactions a set of clients sent to a database
+// and the values it returned — viper decides, soundly and completely,
+// whether the history satisfies snapshot isolation. The database is never
+// inspected: everything viper needs is recorded client-side by history
+// collectors. Internally the history becomes a BC-polygraph, a dependency
+// graph over transaction begin/commit events plus a set of either/or edge
+// constraints; the history is SI if and only if some constraint resolution
+// makes the graph acyclic (the paper's Theorem 5), which a CDCL SAT solver
+// with a native acyclicity theory decides.
+//
+// # Checking a history
+//
+//	b := viper.NewHistoryBuilder()
+//	s := b.Session()
+//	w := s.Txn().Write("x").Commit()
+//	s.Txn().ReadObserved("x", w.WriteIDOf("x")).Commit()
+//	h, err := b.History()
+//	...
+//	res := viper.Check(h, viper.Options{Level: viper.AdyaSI})
+//	fmt.Println(res.Outcome) // accept
+//
+// Besides vanilla (Adya) SI, the checker supports Generalized SI, Strong
+// Session SI, Strong SI (all under a bounded clock-drift assumption for
+// their real-time obligations), and Serializability.
+//
+// # Recording histories
+//
+// Package-level helpers run workloads against the bundled SI storage
+// engine through history collectors (the paper's Figure 1 pipeline), and
+// persist/load histories as JSON-lines logs; see RunWorkload, WriteHistory
+// and ReadHistory. Real deployments would implement the collector shim
+// over their own database client; the recorded format is the same.
+package viper
+
+import (
+	"time"
+
+	"viper/internal/core"
+	"viper/internal/histio"
+	"viper/internal/history"
+	"viper/internal/runner"
+	"viper/internal/workload"
+)
+
+// Re-exported history model. External users interact with these through
+// the viper package; see package history for full documentation.
+type (
+	// History is a recorded execution: transactions, operations, and the
+	// values reads observed.
+	History = history.History
+	// Txn is one transaction of a history.
+	Txn = history.Txn
+	// Op is one key operation of a transaction.
+	Op = history.Op
+	// Version is one (key, write id) entry of a range-query result.
+	Version = history.Version
+	// Key is a database key.
+	Key = history.Key
+	// WriteID identifies a written value.
+	WriteID = history.WriteID
+	// TxnID identifies a transaction within a history.
+	TxnID = history.TxnID
+	// HistoryBuilder assembles histories programmatically.
+	HistoryBuilder = history.Builder
+	// SessionBuilder creates transactions within one session of a built
+	// history.
+	SessionBuilder = history.SessionBuilder
+	// TxnBuilder accumulates one transaction's operations.
+	TxnBuilder = history.TxnBuilder
+	// CommittedTxn is the handle of a finalized built transaction.
+	CommittedTxn = history.CommittedTxn
+	// ValidationError reports a well-formedness violation (e.g. a read of
+	// an aborted write) that makes a history trivially non-SI.
+	ValidationError = history.ValidationError
+)
+
+// Re-exported checker configuration and results.
+type (
+	// Options configure a check: the SI variant, clock-drift bound,
+	// optimization toggles, and timeout.
+	Options = core.Options
+	// Level is the isolation level to check.
+	Level = core.Level
+	// Outcome is accept, reject, or timeout.
+	Outcome = core.Outcome
+	// Report carries the checker's detailed statistics and phase timings.
+	Report = core.Report
+)
+
+// Isolation levels (the Crooks et al. hierarchy plus Serializability).
+const (
+	// AdyaSI is vanilla snapshot isolation (logical timestamps).
+	AdyaSI = core.AdyaSI
+	// GSI is Generalized SI: real-time commits, old snapshots allowed.
+	GSI = core.GSI
+	// StrongSessionSI adds session order (≡ Prefix-Consistent SI).
+	StrongSessionSI = core.StrongSessionSI
+	// StrongSI requires the most recent snapshot in real time.
+	StrongSI = core.StrongSI
+	// Serializability checks Adya serializability.
+	Serializability = core.Serializability
+	// ReadCommitted checks Adya's PL-2 (polynomial time, no solver).
+	ReadCommitted = core.ReadCommitted
+)
+
+// Outcomes.
+const (
+	// Accept: the history satisfies the checked level.
+	Accept = core.Accept
+	// Reject: it does not.
+	Reject = core.Reject
+	// Timeout: the time budget expired first.
+	Timeout = core.Timeout
+)
+
+// Result is the outcome of Check: the verdict plus either a
+// validation-level violation or the full graph-checking report.
+type Result struct {
+	Outcome Outcome
+	// Violation is non-nil when the history failed validation (reads of
+	// aborted or fabricated writes, program-order violations); such
+	// histories are rejected before any graph analysis, matching Figure 4
+	// line 32.
+	Violation error
+	// Report is the detailed checking report (nil if rejection happened at
+	// validation).
+	Report *Report
+	// ParseTime is the time spent loading/validating the history.
+	ParseTime time.Duration
+}
+
+// Check validates the history and decides whether it satisfies the
+// configured isolation level.
+func Check(h *History, opts Options) *Result {
+	start := time.Now()
+	if err := h.Validate(); err != nil {
+		return &Result{Outcome: Reject, Violation: err, ParseTime: time.Since(start)}
+	}
+	parse := time.Since(start)
+	rep := core.CheckHistory(h, opts)
+	return &Result{Outcome: rep.Outcome, Report: rep, ParseTime: parse}
+}
+
+// CheckFile loads a history log (see WriteHistory) and checks it.
+func CheckFile(path string, opts Options) (*Result, error) {
+	start := time.Now()
+	h, err := histio.ReadFile(path)
+	if err != nil {
+		if _, ok := err.(*history.ValidationError); ok {
+			return &Result{Outcome: Reject, Violation: err, ParseTime: time.Since(start)}, nil
+		}
+		return nil, err
+	}
+	parse := time.Since(start)
+	rep := core.CheckHistory(h, opts)
+	return &Result{Outcome: rep.Outcome, Report: rep, ParseTime: parse}, nil
+}
+
+// NewHistoryBuilder returns a builder for assembling histories by hand
+// (tests, log converters, anomaly reproductions).
+func NewHistoryBuilder() *HistoryBuilder { return history.NewBuilder() }
+
+// WriteHistory persists a history as a JSON-lines log.
+func WriteHistory(path string, h *History) error { return histio.WriteFile(path, h) }
+
+// ReadHistory loads and validates a JSON-lines history log.
+func ReadHistory(path string) (*History, error) { return histio.ReadFile(path) }
+
+// Workload generation: re-exported so applications can produce histories
+// against the bundled SI engine (see package workload and runner).
+type (
+	// Generator produces transaction programs for RunWorkload.
+	Generator = workload.Generator
+	// RunConfig configures RunWorkload (clients, size, seed, engine
+	// faults, collector clock drift).
+	RunConfig = runner.Config
+	// RunStats summarizes a workload run.
+	RunStats = runner.Stats
+)
+
+// Bundled benchmark generators (the paper's §7 workloads).
+var (
+	// NewBlindWRW is the BlindW-RW microbenchmark (50% read-only / 50%
+	// write-only transactions).
+	NewBlindWRW = func() Generator { return workload.NewBlindWRW() }
+	// NewBlindWRM is BlindW-RM (90% read-only).
+	NewBlindWRM = func() Generator { return workload.NewBlindWRM() }
+	// NewRangeB is the balanced V-Range mix.
+	NewRangeB = func() Generator { return workload.NewRangeB() }
+	// NewRangeRQH is the range-query-heavy V-Range mix.
+	NewRangeRQH = func() Generator { return workload.NewRangeRQH() }
+	// NewRangeIDH is the insert/delete-heavy V-Range mix.
+	NewRangeIDH = func() Generator { return workload.NewRangeIDH() }
+	// NewAppend is the Jepsen-style list-append workload.
+	NewAppend = func() Generator { return workload.NewAppend() }
+)
+
+// NewTPCC returns the C-TPCC macrobenchmark generator.
+func NewTPCC(customersPerDistrict int) Generator { return workload.NewTPCC(customersPerDistrict) }
+
+// NewRUBiS returns the C-RUBiS macrobenchmark generator.
+func NewRUBiS(users, items int) Generator { return workload.NewRUBiS(users, items) }
+
+// NewTwitter returns the C-Twitter macrobenchmark generator.
+func NewTwitter(users int) Generator { return workload.NewTwitter(users) }
+
+// RunWorkload executes a workload with concurrent clients against the
+// bundled SI engine through history collectors and returns the recorded
+// history (the paper's Figure 1 pipeline, self-contained).
+func RunWorkload(gen Generator, cfg RunConfig) (*History, RunStats, error) {
+	return runner.Run(gen, cfg)
+}

@@ -1,0 +1,136 @@
+package viper
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	b := NewHistoryBuilder()
+	s := b.Session()
+	w := s.Txn().Write("x").Commit()
+	s.Txn().ReadObserved("x", w.WriteIDOf("x")).Commit()
+	h, err := b.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Check(h, Options{Level: AdyaSI})
+	if res.Outcome != Accept || res.Report == nil {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestCheckRejectsValidationViolation(t *testing.T) {
+	b := NewHistoryBuilder()
+	s := b.Session()
+	tb := s.Txn().Write("x")
+	wid := tb.WriteIDOf("x")
+	tb.Abort()
+	s.Txn().ReadObserved("x", wid).Commit()
+	h := b.RawHistory()
+	res := Check(h, Options{Level: AdyaSI})
+	if res.Outcome != Reject || res.Violation == nil {
+		t.Fatalf("res = %+v", res)
+	}
+	var verr *ValidationError
+	if !errors.As(res.Violation, &verr) {
+		t.Fatalf("violation = %v", res.Violation)
+	}
+}
+
+func TestRunWorkloadAndFileRoundTrip(t *testing.T) {
+	h, st, err := RunWorkload(NewBlindWRW(), RunConfig{Clients: 4, Txns: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Issued != 50 {
+		t.Fatalf("stats = %+v", st)
+	}
+	path := filepath.Join(t.TempDir(), "h.jsonl")
+	if err := WriteHistory(path, h); err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckFile(path, Options{Level: StrongSI, Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Accept {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if res.ParseTime <= 0 {
+		t.Fatal("parse time not recorded")
+	}
+}
+
+func TestCheckFileMissing(t *testing.T) {
+	if _, err := CheckFile("/nonexistent/zzz.jsonl", Options{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestAllGeneratorsExported(t *testing.T) {
+	gens := []Generator{
+		NewBlindWRW(), NewBlindWRM(), NewRangeB(), NewRangeRQH(), NewRangeIDH(),
+		NewAppend(), NewTPCC(10), NewRUBiS(10, 10), NewTwitter(10),
+	}
+	for _, g := range gens {
+		if g.Name() == "" {
+			t.Fatal("generator without a name")
+		}
+	}
+}
+
+func TestLevelsRoundTrip(t *testing.T) {
+	for _, l := range []Level{AdyaSI, GSI, StrongSessionSI, StrongSI, Serializability} {
+		b := NewHistoryBuilder()
+		s := b.Session()
+		s.Txn().Write("x").Commit()
+		h, err := b.History()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := Check(h, Options{Level: l}); res.Outcome != Accept {
+			t.Fatalf("level %v: %v", l, res.Outcome)
+		}
+	}
+}
+
+// TestStressLargeHistory is the end-to-end stress test at the paper's
+// mid-range scale (5k transactions, 24 clients): generation, persistence,
+// reload, checking at two levels, and anomaly rejection. Skipped with
+// -short.
+func TestStressLargeHistory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	h, st, err := RunWorkload(NewBlindWRW(), RunConfig{Clients: 24, Txns: 5000, Seed: 2026})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Issued != 5000 {
+		t.Fatalf("issued %d", st.Issued)
+	}
+	path := filepath.Join(t.TempDir(), "big.jsonl")
+	if err := WriteHistory(path, h); err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckFile(path, Options{Level: AdyaSI, Timeout: 2 * time.Minute, SelfCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Accept || !res.Report.WitnessVerified {
+		t.Fatalf("outcome=%v verified=%v err=%v", res.Outcome, res.Report.WitnessVerified, res.Report.SelfCheckErr)
+	}
+	if res.Report.Retries != 0 {
+		t.Fatalf("pruning retried %d times on a healthy history", res.Report.Retries)
+	}
+	res2, err := CheckFile(path, Options{Level: StrongSessionSI, Timeout: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Outcome != Accept {
+		t.Fatalf("SSSI outcome = %v", res2.Outcome)
+	}
+}
