@@ -336,6 +336,23 @@ func BenchmarkPolygraphBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkPolygraphBuildParallel measures sharded construction on the
+// constraint-heaviest workload at paper scale (BlindW-RW, 5000 txns);
+// workers=1 is the serial baseline the speedup is read against.
+func BenchmarkPolygraphBuildParallel(b *testing.B) {
+	h := benchHistory(b, "blindw-rw", workload.NewBlindWRW(), 5000, 24)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pg := core.Build(h, core.Options{Level: core.AdyaSI, Parallelism: workers})
+				if pg.NumNodes == 0 {
+					b.Fatal("empty polygraph")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSATPigeonhole(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := sat.New()

@@ -44,6 +44,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		noCoalesce = fs.Bool("no-coalesce", false, "disable coalescing constraints")
 		initialK   = fs.Int("k", 0, "initial heuristic pruning distance (0 = default)")
 		lazy       = fs.Bool("lazy-theory", false, "use lazy (full-assignment) acyclicity checking")
+		parallel   = fs.Int("parallel", 0, "polygraph construction workers (0 = GOMAXPROCS, 1 = serial)")
+		portfolio  = fs.Int("portfolio", 0, "differently-seeded solver instances raced per attempt (<= 1 = single solver)")
 		verbose    = fs.Bool("v", false, "print detailed statistics")
 		dotPath    = fs.String("dot", "", "write the BC-polygraph (with any counterexample cycle highlighted) as Graphviz DOT to this path")
 	)
@@ -84,6 +86,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		DisableCoalesce:      *noCoalesce,
 		InitialK:             *initialK,
 		LazyTheory:           *lazy,
+		Parallelism:          *parallel,
+		Portfolio:            *portfolio,
 	}
 	rep := core.CheckHistory(h, opts)
 
@@ -91,8 +95,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "%s: %d txns (%d aborted), %d sessions, level %s\n",
 		fs.Arg(0), st.Txns, st.Aborted, st.Sessions, level)
 	fmt.Fprintf(stdout, "verdict: %s\n", rep.Outcome)
-	fmt.Fprintf(stdout, "time: parse %.3fs, construct %.3fs, encode %.3fs, solve %.3fs\n",
-		parse.Seconds(), rep.Phases.Construct.Seconds(),
+	construct := fmt.Sprintf("construct %.3fs", rep.Phases.Construct.Seconds())
+	if rep.ConstructWorkers > 1 {
+		construct += fmt.Sprintf(" (cpu %.3fs, %d workers)",
+			rep.Phases.ConstructCPU.Seconds(), rep.ConstructWorkers)
+	}
+	fmt.Fprintf(stdout, "time: parse %.3fs, %s, encode %.3fs, solve %.3fs\n",
+		parse.Seconds(), construct,
 		rep.Phases.Encode.Seconds(), rep.Phases.Solve.Seconds())
 
 	if *verbose {

@@ -40,16 +40,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout = fs.Duration("timeout", 10*time.Second, "per-check time budget")
 		seed    = fs.Int64("seed", 1, "history generation seed")
 		trials  = fs.Int("trials", 3, "trials for experiments the paper repeats (fig13)")
+		par     = fs.Int("parallel", 0, "polygraph construction workers for viper (0 = GOMAXPROCS, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 3
 	}
 
 	cfg := experiments.Config{
-		Clients: *clients,
-		Timeout: *timeout,
-		Seed:    *seed,
-		Trials:  *trials,
+		Clients:     *clients,
+		Timeout:     *timeout,
+		Seed:        *seed,
+		Trials:      *trials,
+		Parallelism: *par,
 	}
 	if *sizes != "" {
 		for _, part := range strings.Split(*sizes, ",") {

@@ -2,12 +2,42 @@ package core
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"viper/internal/acyclic"
 	"viper/internal/history"
 	"viper/internal/sat"
 )
+
+// portfolioRace coordinates the racing solvers of one portfolio attempt.
+// Registered solvers are interrupted the moment a winner is decided, and a
+// solver that registers after the decision interrupts itself immediately —
+// a straggler that was still being constructed when the race ended must
+// not run to completion unobserved.
+type portfolioRace struct {
+	mu      sync.Mutex
+	decided bool
+	solvers []*sat.Solver
+}
+
+func (pr *portfolioRace) register(s *sat.Solver) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.decided {
+		s.Interrupt()
+	}
+	pr.solvers = append(pr.solvers, s)
+}
+
+func (pr *portfolioRace) decide() {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	pr.decided = true
+	for _, s := range pr.solvers {
+		s.Interrupt()
+	}
+}
 
 // Outcome is a checking verdict.
 type Outcome uint8
@@ -37,9 +67,17 @@ func (o Outcome) String() string {
 // PhaseTimings decomposes checking time like Figure 10 of the paper.
 // (Parsing is measured by the caller that loads the history.)
 type PhaseTimings struct {
-	Construct time.Duration // building the BC-polygraph
-	Encode    time.Duration // emitting SMT clauses (summed over attempts)
-	Solve     time.Duration // SAT+theory solving (summed over attempts)
+	Construct time.Duration // building the BC-polygraph (wall clock)
+	// ConstructCPU is the construction work summed across workers: equal
+	// to Construct when Options.Parallelism resolves to one worker, and up
+	// to ConstructWorkers× larger when sharded construction overlaps work
+	// (ConstructCPU / Construct is the effective construction speedup).
+	ConstructCPU time.Duration
+	Encode       time.Duration // emitting SMT clauses (summed over attempts)
+	// Solve is SAT+theory solving summed over attempts. Under a portfolio
+	// it is the winning solver's time only; losers' encode/solve time is
+	// never booked (it would misattribute the Figure 10 decomposition).
+	Solve time.Duration
 }
 
 // Report is the result of a check.
@@ -51,6 +89,10 @@ type Report struct {
 	Nodes       int
 	KnownEdges  int
 	Constraints int // constraints in the polygraph (before pruning)
+
+	// ConstructWorkers is the worker count used for polygraph
+	// construction (see Options.Parallelism).
+	ConstructWorkers int
 
 	// Final-attempt statistics.
 	PrunedConstraints int // constraints resolved by heuristic pruning
@@ -96,11 +138,9 @@ func CheckHistory(h *history.History, opts Options) *Report {
 	if opts.Level == ReadCommitted {
 		return checkReadCommitted(h)
 	}
-	start := time.Now()
 	pg := Build(h, opts)
-	construct := time.Since(start)
 	rep := CheckPolygraph(pg, opts)
-	rep.Phases.Construct = construct
+	rep.Phases.Construct, rep.Phases.ConstructCPU, rep.ConstructWorkers = pg.BuildTimings()
 	return rep
 }
 
@@ -237,8 +277,9 @@ func (pg *Polygraph) attempt(opts Options, rep *Report, pos []int32, k int, dead
 		stats   sat.Stats
 		vars    int
 		encode  time.Duration
+		solve   time.Duration
 	}
-	runOne := func(seed int64, interrupts chan<- *sat.Solver) solveOut {
+	runOne := func(seed int64, race *portfolioRace) solveOut {
 		encStart := time.Now()
 		s := sat.New()
 		if !deadline.IsZero() {
@@ -247,8 +288,8 @@ func (pg *Polygraph) attempt(opts Options, rep *Report, pos []int32, k int, dead
 		if seed > 0 {
 			s.SetRandomSeed(seed)
 		}
-		if interrupts != nil {
-			interrupts <- s
+		if race != nil {
+			race.register(s)
 		}
 
 		var alloc interface {
@@ -344,55 +385,57 @@ func (pg *Polygraph) attempt(opts Options, rep *Report, pos []int32, k int, dead
 				}
 			}
 		}
+		// Everything after encoding — solving plus witness extraction — is
+		// this solver's solve time.
+		out.solve = time.Since(encStart) - encDur
 		return out
 	}
 
-	encodeDone := time.Now()
-	rep.Phases.Encode += encodeDone.Sub(encodeStart)
+	rep.Phases.Encode += time.Since(encodeStart) // pruning + setup
 
 	var win solveOut
 	if n == 1 {
 		win = runOne(0, nil)
 	} else {
-		// Portfolio: differently-seeded solvers race; first verdict wins.
+		// Portfolio: differently-seeded solvers race; the first definitive
+		// verdict wins and returns immediately. The channel is buffered so
+		// interrupted losers can always deliver their result and exit; a
+		// detached goroutine drains them.
 		results := make(chan solveOut, n)
-		interrupts := make(chan *sat.Solver, n)
+		race := &portfolioRace{}
 		for i := 0; i < n; i++ {
 			seed := int64(i) // seed 0 = deterministic VSIDS, others random
-			go func() { results <- runOne(seed, interrupts) }()
+			go func() { results <- runOne(seed, race) }()
 		}
 		win = solveOut{res: sat.Unknown}
-		won := false
-		var solvers []*sat.Solver
-		drain := func() {
-			for {
-				select {
-				case sv := <-interrupts:
-					if won {
-						sv.Interrupt()
-					}
-					solvers = append(solvers, sv)
-				default:
-					return
-				}
-			}
-		}
 		for done := 0; done < n; done++ {
-			drain()
 			out := <-results
-			drain()
-			if out.res != sat.Unknown && !won {
-				win = out
-				won = true
-				for _, sv := range solvers {
-					sv.Interrupt()
+			if out.res == sat.Unknown {
+				if done == n-1 {
+					// Every solver timed out: book the last finisher so
+					// the decomposition still accounts for the attempt.
+					win.encode, win.solve = out.encode, out.solve
+					win.stats, win.vars = out.stats, out.vars
 				}
+				continue
 			}
+			win = out
+			race.decide()
+			remaining := n - done - 1
+			go func() {
+				for i := 0; i < remaining; i++ {
+					<-results
+				}
+			}()
+			break
 		}
 	}
 
+	// Attribute encode/solve to the winner only: losing portfolio members'
+	// time must not inflate (or, via subtraction, turn negative) the
+	// Figure 10 phase decomposition.
 	rep.Phases.Encode += win.encode
-	rep.Phases.Solve += time.Since(encodeDone) - win.encode
+	rep.Phases.Solve += win.solve
 	rep.Solver = win.stats
 	rep.EdgeVars = win.vars
 	if win.witness != nil {

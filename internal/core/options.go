@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 )
 
@@ -113,6 +114,14 @@ type Options struct {
 	// conflicts; an ablation knob.
 	DisablePhaseBias bool
 
+	// Parallelism is the worker count for BC-polygraph construction: the
+	// read-collection pass shards over transaction ranges and the per-key
+	// constraint pass shards over keys, with per-worker buffers merged
+	// deterministically so the polygraph is identical to a serial build
+	// regardless of worker count. 0 (the default) means
+	// runtime.GOMAXPROCS(0); 1 runs the exact legacy serial path.
+	Parallelism int
+
 	// Portfolio, when > 1, runs that many differently-seeded solver
 	// instances in parallel for each attempt and takes the first definitive
 	// verdict — the paper's suggested mitigation for the high solver
@@ -134,4 +143,12 @@ func (o *Options) initialK() int {
 		return o.InitialK
 	}
 	return 128
+}
+
+// workers resolves Parallelism to a concrete construction worker count.
+func (o *Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }

@@ -1,0 +1,248 @@
+// Sharded BC-polygraph construction.
+//
+// Constraint generation is O(n²) in the worst case (pairwise writer-chain
+// constraints per key) but independent across keys, and read collection is
+// independent across transactions. The sharded build exploits both:
+//
+//  1. Read collection shards the transaction list into contiguous ranges,
+//     one readers index per worker, merged in shard order. Contiguity
+//     keeps each per-(key, writer) reader list in transaction order, and
+//     a (key, writer, reader) triple can only be produced by the reader's
+//     own shard, so concatenating shard lists in shard order reproduces
+//     the serial index exactly.
+//  2. The per-key pass (read-dependency edges + writer chains +
+//     constraints) runs under a work-stealing pool: workers claim key
+//     indices from an atomic cursor (per-key costs vary wildly) and write
+//     their output into a slice indexed by key position, so the schedule
+//     cannot influence the result.
+//  3. A serial replay merges the per-key records in exactly the order the
+//     serial build emits them: all read-dependency edges in ascending key
+//     order, then each key's constraint-pass emissions in ascending key
+//     order. The knownSet-dependent steps — duplicate-edge suppression
+//     and dropping constraint-side edges that are already certain — are
+//     deferred to this replay, where the evolving known set matches the
+//     serial build's state at the same point. The result is therefore
+//     byte-identical to the serial build for any worker count.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"viper/internal/history"
+)
+
+// keyOp is one recorded emission of the per-key constraint pass.
+type keyOp struct {
+	cons bool // false: known-edge add; true: constraint
+
+	// Known-edge add (classify already applied; edgeNormal only).
+	edge Edge
+	kind EdgeKind // also the first side's kind for constraints
+
+	// Constraint: sides resolved through classify, with knownSet
+	// filtering deferred to the replay. fBad/sBad mark sides containing
+	// an impossible edge.
+	first, second []Edge
+	fBad, sBad    bool
+	kind2         EdgeKind
+}
+
+// keyRecord is everything one key contributes to the polygraph.
+type keyRecord struct {
+	wr  []Edge  // read-dependency edges, in serial emission order
+	ops []keyOp // constraint-pass emissions, in serial emission order
+}
+
+// keyRecorder is the constraintSink that records emissions instead of
+// applying them; pg is only read (classify), never written.
+type keyRecorder struct {
+	pg  *Polygraph
+	rec *keyRecord
+}
+
+func (kr keyRecorder) knownEvent(fromT history.TxnID, fromCommit bool, toT history.TxnID, toCommit bool, kind EdgeKind, key history.Key) {
+	if e, cls := kr.pg.classify(fromT, fromCommit, toT, toCommit); cls == edgeNormal {
+		kr.rec.ops = append(kr.rec.ops, keyOp{edge: e, kind: kind})
+	}
+}
+
+func (kr keyRecorder) constraint(first, second []eventEdge, kind1, kind2 EdgeKind, key history.Key) {
+	resolve := func(side []eventEdge) (edges []Edge, invalid bool) {
+		for _, ee := range side {
+			e, cls := kr.pg.classify(ee.fromT, ee.fromCommit, ee.toT, ee.toCommit)
+			switch cls {
+			case edgeFalse:
+				return nil, true
+			case edgeTrue:
+				continue
+			}
+			edges = append(edges, e)
+		}
+		return edges, false
+	}
+	f, fBad := resolve(first)
+	s, sBad := resolve(second)
+	kr.rec.ops = append(kr.rec.ops, keyOp{
+		cons: true, first: f, second: s, fBad: fBad, sBad: sBad,
+		kind: kind1, kind2: kind2,
+	})
+}
+
+// buildSharded is the parallel counterpart of Build's read-dependency and
+// constraint passes.
+func (pg *Polygraph) buildSharded(opts Options, workers int) {
+	h := pg.H
+	keys := h.Keys()
+	pg.buildWorkers = workers
+
+	readers := pg.collectReadsSharded(workers)
+	wbk := writersByKey(h)
+
+	outs := make([]keyRecord, len(keys))
+	combine, coalesce := !opts.DisableCombineWrites, !opts.DisableCoalesce
+	var cursor atomic.Int64
+	pg.runShards(workers, func(int) {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(keys) {
+				return
+			}
+			key := keys[i]
+			byWriter := readers[key]
+			recordReadDeps(pg, byWriter, &outs[i])
+			pg.buildKeyConstraints(key, wbk[key], byWriter, combine, coalesce, keyRecorder{pg: pg, rec: &outs[i]})
+		}
+	})
+
+	// Deterministic replay, in serial emission order.
+	for i, key := range keys {
+		for _, e := range outs[i].wr {
+			pg.addKnown(e, EdgeWR, key)
+		}
+	}
+	for i, key := range keys {
+		for j := range outs[i].ops {
+			pg.applyOp(&outs[i].ops[j], key)
+		}
+	}
+}
+
+// recordReadDeps records one key's read-dependency edges in the order the
+// serial pass emits them (addReadDeps' inner loops).
+func recordReadDeps(pg *Polygraph, byWriter map[history.TxnID][]history.TxnID, rec *keyRecord) {
+	for _, w := range sortedTxns(byWriter) {
+		if w == history.GenesisID {
+			continue
+		}
+		for _, r := range byWriter[w] {
+			if e, cls := pg.classify(w, true, r, false); cls == edgeNormal {
+				rec.wr = append(rec.wr, e)
+			}
+		}
+	}
+}
+
+// applyOp replays one recorded emission against the live polygraph,
+// performing the knownSet-dependent steps the workers deferred. This
+// mirrors addConstraint's case analysis exactly.
+func (pg *Polygraph) applyOp(op *keyOp, key history.Key) {
+	if !op.cons {
+		pg.addKnown(op.edge, op.kind, key)
+		return
+	}
+	switch {
+	case op.fBad && op.sBad:
+		pg.Contradiction = true
+	case op.fBad:
+		for _, e := range op.second {
+			pg.addKnown(e, op.kind2, key)
+		}
+	case op.sBad:
+		for _, e := range op.first {
+			pg.addKnown(e, op.kind, key)
+		}
+	default:
+		filter := func(side []Edge) []Edge {
+			kept := side[:0]
+			for _, e := range side {
+				if !pg.knownSet[e] {
+					kept = append(kept, e)
+				}
+			}
+			return kept
+		}
+		f, s := filter(op.first), filter(op.second)
+		if len(f) == 0 || len(s) == 0 {
+			// One side holds trivially: the constraint imposes nothing.
+			return
+		}
+		pg.Cons = append(pg.Cons, Constraint{First: f, Second: s, Key: key})
+	}
+}
+
+// collectReadsSharded is collectReads over contiguous per-worker
+// transaction ranges, merged in shard order.
+func (pg *Polygraph) collectReadsSharded(workers int) map[history.Key]map[history.TxnID][]history.TxnID {
+	txns := pg.H.Txns[1:]
+	if workers > len(txns) {
+		workers = len(txns)
+	}
+	shards := make([]map[history.Key]map[history.TxnID][]history.TxnID, workers)
+	per := (len(txns) + workers - 1) / workers
+	pg.runShards(workers, func(w int) {
+		lo := w * per
+		hi := lo + per
+		if hi > len(txns) {
+			hi = len(txns)
+		}
+		if lo >= hi {
+			return
+		}
+		m := make(map[history.Key]map[history.TxnID][]history.TxnID)
+		pg.collectReadsInto(m, txns[lo:hi])
+		shards[w] = m
+	})
+
+	// Merge in shard order: per-(key, writer) lists concatenate in
+	// transaction order, and no (key, writer, reader) triple can appear
+	// in two shards, so no cross-shard dedup is needed.
+	merged := shards[0]
+	if merged == nil {
+		merged = make(map[history.Key]map[history.TxnID][]history.TxnID)
+	}
+	for _, m := range shards[1:] {
+		for key, byW := range m {
+			dst := merged[key]
+			if dst == nil {
+				merged[key] = byW
+				continue
+			}
+			for w, rs := range byW {
+				dst[w] = append(dst[w], rs...)
+			}
+		}
+	}
+	return merged
+}
+
+// runShards runs fn(worker) on n goroutines and folds the section's wall
+// time and summed per-worker busy time into the build timings.
+func (pg *Polygraph) runShards(n int, fn func(worker int)) {
+	start := time.Now()
+	var busy atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t0 := time.Now()
+			fn(w)
+			busy.Add(int64(time.Since(t0)))
+		}(w)
+	}
+	wg.Wait()
+	pg.parWall += time.Since(start)
+	pg.parCPU += time.Duration(busy.Load())
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"viper/internal/history"
 )
@@ -102,6 +103,23 @@ type Polygraph struct {
 	ser      bool
 	auxBase  int32
 	knownSet map[Edge]bool
+
+	// Construction timing: buildWall is wall-clock time, buildCPU the same
+	// work summed across workers (equal for a serial build), buildWorkers
+	// the resolved worker count. parWall/parCPU account the parallel
+	// sections only (see parallel.go).
+	buildWall    time.Duration
+	buildCPU     time.Duration
+	parWall      time.Duration
+	parCPU       time.Duration
+	buildWorkers int
+}
+
+// BuildTimings reports construction wall-clock time, the equivalent CPU
+// time summed across workers (== wall for a serial build), and the worker
+// count used.
+func (pg *Polygraph) BuildTimings() (wall, cpu time.Duration, workers int) {
+	return pg.buildWall, pg.buildCPU, pg.buildWorkers
 }
 
 // Begin returns the node id of t's begin event.
@@ -248,8 +266,12 @@ func (c *chain) tail() history.TxnID { return c.members[len(c.members)-1] }
 
 // Build constructs the BC-polygraph of a validated history (Figure 4's
 // CreateBCPolygraph, plus range-query derivation, combining writes,
-// constraint coalescing, and the variant edges of §5).
+// constraint coalescing, and the variant edges of §5). When
+// opts.Parallelism resolves to more than one worker, read collection and
+// per-key constraint generation are sharded across a worker pool
+// (parallel.go); the resulting polygraph is identical to the serial build.
 func Build(h *history.History, opts Options) *Polygraph {
+	start := time.Now()
 	pg := &Polygraph{
 		H:        h,
 		Level:    opts.Level,
@@ -274,11 +296,35 @@ func Build(h *history.History, opts Options) *Polygraph {
 		}
 	}
 
-	readers := pg.collectReads()
-	writersByKey := writersByKey(h)
+	if w := opts.workers(); w > 1 && len(h.Keys()) > 0 && h.Len() > 1 {
+		pg.buildSharded(opts, w)
+	} else {
+		pg.buildWorkers = 1
+		readers := pg.collectReads()
+		writersByKey := writersByKey(h)
+		pg.addReadDeps(readers)
+		// Constraints per key, over writer chains.
+		for _, key := range h.Keys() {
+			pg.buildKeyConstraints(key, writersByKey[key], readers[key], !opts.DisableCombineWrites, !opts.DisableCoalesce, pg)
+		}
+	}
 
-	// Read-dependency edges: commit of writer → begin of reader. Reads
-	// from genesis need no edge (genesis trivially commits first).
+	// Variant edges.
+	if opts.Level == StrongSessionSI {
+		pg.addSessionEdges()
+	}
+	if opts.Level.needsRealTime() {
+		pg.addRealTimeEdges(opts)
+	}
+	pg.buildWall = time.Since(start)
+	pg.buildCPU = pg.buildWall - pg.parWall + pg.parCPU
+	return pg
+}
+
+// addReadDeps emits the read-dependency edges: commit of writer → begin of
+// reader. Reads from genesis need no edge (genesis trivially commits
+// first).
+func (pg *Polygraph) addReadDeps(readers map[history.Key]map[history.TxnID][]history.TxnID) {
 	for _, key := range sortedKeys(readers) {
 		byWriter := readers[key]
 		for _, w := range sortedTxns(byWriter) {
@@ -293,20 +339,6 @@ func Build(h *history.History, opts Options) *Polygraph {
 			}
 		}
 	}
-
-	// Constraints per key, over writer chains.
-	for _, key := range h.Keys() {
-		pg.buildKeyConstraints(key, writersByKey[key], readers[key], !opts.DisableCombineWrites, !opts.DisableCoalesce)
-	}
-
-	// Variant edges.
-	if opts.Level == StrongSessionSI {
-		pg.addSessionEdges()
-	}
-	if opts.Level.needsRealTime() {
-		pg.addRealTimeEdges(opts)
-	}
-	return pg
 }
 
 // initNodeTS fills the per-node wall-clock hints.
@@ -329,8 +361,16 @@ func (pg *Polygraph) initNodeTS() {
 // deletes keys, so absence can only mean "never inserted", i.e. the range
 // query read the key's initial version.
 func (pg *Polygraph) collectReads() map[history.Key]map[history.TxnID][]history.TxnID {
-	h := pg.H
 	readers := make(map[history.Key]map[history.TxnID][]history.TxnID)
+	pg.collectReadsInto(readers, pg.H.Txns[1:])
+	return readers
+}
+
+// collectReadsInto indexes the external reads of the given transactions
+// into readers. Sharding callers pass contiguous transaction ranges so
+// per-(key, writer) reader lists stay in transaction order (parallel.go).
+func (pg *Polygraph) collectReadsInto(readers map[history.Key]map[history.TxnID][]history.TxnID, txns []*history.Txn) {
+	h := pg.H
 	add := func(key history.Key, w, r history.TxnID) {
 		if w == r {
 			return
@@ -347,7 +387,7 @@ func (pg *Polygraph) collectReads() map[history.Key]map[history.TxnID][]history.
 		}
 		m[w] = append(m[w], r)
 	}
-	for _, t := range h.Txns[1:] {
+	for _, t := range txns {
 		if !t.Committed() {
 			continue
 		}
@@ -375,12 +415,33 @@ func (pg *Polygraph) collectReads() map[history.Key]map[history.TxnID][]history.
 			}
 		}
 	}
-	return readers
+}
+
+// constraintSink receives the emissions of the per-key constraint pass.
+// The serial build (the Polygraph itself) applies them to the graph
+// immediately; the sharded build records them per key and replays them in
+// serial order (parallel.go).
+type constraintSink interface {
+	// knownEvent emits a certain event-level edge (elided when classify
+	// resolves it as trivially true or impossible).
+	knownEvent(fromT history.TxnID, fromCommit bool, toT history.TxnID, toCommit bool, kind EdgeKind, key history.Key)
+	// constraint emits an either/or constraint over event-level edge sets.
+	constraint(first, second []eventEdge, kind1, kind2 EdgeKind, key history.Key)
+}
+
+func (pg *Polygraph) knownEvent(fromT history.TxnID, fromCommit bool, toT history.TxnID, toCommit bool, kind EdgeKind, key history.Key) {
+	if e, cls := pg.classify(fromT, fromCommit, toT, toCommit); cls == edgeNormal {
+		pg.addKnown(e, kind, key)
+	}
+}
+
+func (pg *Polygraph) constraint(first, second []eventEdge, kind1, kind2 EdgeKind, key history.Key) {
+	pg.addConstraint(first, second, kind1, kind2, key)
 }
 
 // buildKeyConstraints emits the known edges and constraints for one key
-// (Figure 4 lines 37–50, at writer-chain granularity).
-func (pg *Polygraph) buildKeyConstraints(key history.Key, writers []history.TxnID, byWriter map[history.TxnID][]history.TxnID, combine, coalesce bool) {
+// (Figure 4 lines 37–50, at writer-chain granularity) into the sink.
+func (pg *Polygraph) buildKeyConstraints(key history.Key, writers []history.TxnID, byWriter map[history.TxnID][]history.TxnID, combine, coalesce bool, sink constraintSink) {
 	chains := pg.writerChains(writers, byWriter, combine)
 	if len(chains) == 0 {
 		return
@@ -394,18 +455,14 @@ func (pg *Polygraph) buildKeyConstraints(key history.Key, writers []history.TxnI
 		}
 		for i := 0; i+1 < len(ch.members); i++ {
 			cur, next := ch.members[i], ch.members[i+1]
-			if e, cls := pg.classify(cur, true, next, false); cls == edgeNormal {
-				pg.addKnown(e, EdgeWW, key)
-			}
+			sink.knownEvent(cur, true, next, false, EdgeWW, key)
 			// Readers of a non-tail version anti-depend on the next
 			// in-chain writer.
 			for _, r := range byWriter[cur] {
 				if r == next {
 					continue
 				}
-				if e, cls := pg.classify(r, false, next, true); cls == edgeNormal {
-					pg.addKnown(e, EdgeRW, key)
-				}
+				sink.knownEvent(r, false, next, true, EdgeRW, key)
 			}
 		}
 	}
@@ -419,14 +476,10 @@ func (pg *Polygraph) buildKeyConstraints(key history.Key, writers []history.TxnI
 				continue
 			}
 			if gchain.tail() != history.GenesisID {
-				if e, cls := pg.classify(gchain.tail(), true, ch.head(), false); cls == edgeNormal {
-					pg.addKnown(e, EdgeWW, key)
-				}
+				sink.knownEvent(gchain.tail(), true, ch.head(), false, EdgeWW, key)
 			}
 			for _, r := range byWriter[gchain.tail()] {
-				if e, cls := pg.classify(r, false, ch.head(), true); cls == edgeNormal {
-					pg.addKnown(e, EdgeRW, key)
-				}
+				sink.knownEvent(r, false, ch.head(), true, EdgeRW, key)
 			}
 		}
 	}
@@ -440,14 +493,14 @@ func (pg *Polygraph) buildKeyConstraints(key history.Key, writers []history.TxnI
 	}
 	for i := 0; i < len(real); i++ {
 		for j := i + 1; j < len(real); j++ {
-			pg.chainPairConstraints(key, real[i], real[j], byWriter, coalesce)
+			pg.chainPairConstraints(key, real[i], real[j], byWriter, coalesce, sink)
 		}
 	}
 }
 
 // chainPairConstraints emits the constraints between two chains: either
 // ch1 is entirely before ch2 in the key's version order or vice versa.
-func (pg *Polygraph) chainPairConstraints(key history.Key, ch1, ch2 *chain, byWriter map[history.TxnID][]history.TxnID, coalesce bool) {
+func (pg *Polygraph) chainPairConstraints(key history.Key, ch1, ch2 *chain, byWriter map[history.TxnID][]history.TxnID, coalesce bool, sink constraintSink) {
 	// "ch1 before ch2" edges: tail1 commits before head2 begins, and every
 	// reader of tail1's version begins before head2 commits.
 	sideEdges := func(first, second *chain) []eventEdge {
@@ -461,17 +514,17 @@ func (pg *Polygraph) chainPairConstraints(key history.Key, ch1, ch2 *chain, byWr
 	rev := sideEdges(ch2, ch1)
 
 	if coalesce {
-		pg.addConstraint(fwd, rev, EdgeWW, EdgeWW, key)
+		sink.constraint(fwd, rev, EdgeWW, EdgeWW, key)
 		return
 	}
 	// Uncoalesced: the paper's per-edge XOR constraints (Figure 4 lines 46
 	// and 50), all sharing the "other order" ww edge.
-	pg.addConstraint(fwd[:1], rev[:1], EdgeWW, EdgeWW, key)
+	sink.constraint(fwd[:1], rev[:1], EdgeWW, EdgeWW, key)
 	for _, e := range fwd[1:] {
-		pg.addConstraint([]eventEdge{e}, rev[:1], EdgeRW, EdgeWW, key)
+		sink.constraint([]eventEdge{e}, rev[:1], EdgeRW, EdgeWW, key)
 	}
 	for _, e := range rev[1:] {
-		pg.addConstraint([]eventEdge{e}, fwd[:1], EdgeRW, EdgeWW, key)
+		sink.constraint([]eventEdge{e}, fwd[:1], EdgeRW, EdgeWW, key)
 	}
 }
 

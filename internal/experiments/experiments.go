@@ -39,6 +39,9 @@ type Config struct {
 	Seed int64
 	// Trials is the repeat count where the paper repeats (Figure 13).
 	Trials int
+	// Parallelism is the polygraph-construction worker count passed to
+	// every viper invocation (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
 }
 
 func (c Config) clients() int {
@@ -149,7 +152,7 @@ func Fig8(cfg Config) (*Table, error) {
 		Header: []string{"#txns", "Viper", "GSI+SAT", "ASI+SAT", "ASI+Mono", "ASI+Mono+Opt"},
 	}
 	checkers := []baseline.Checker{
-		&baseline.Viper{Opts: core.Options{Level: core.AdyaSI}},
+		&baseline.Viper{Opts: core.Options{Level: core.AdyaSI, Parallelism: cfg.Parallelism}},
 		&baseline.GSISat{},
 		&baseline.ASISat{},
 		&baseline.ASIMono{},
@@ -178,7 +181,7 @@ func Fig9(cfg Config) (*Table, error) {
 		Title:  "viper vs Elle on Jepsen list-append (seconds)",
 		Header: []string{"#txns", "Viper", "Elle", "viper-constraints"},
 	}
-	viper := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI}}
+	viper := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI, Parallelism: cfg.Parallelism}}
 	elle := &baseline.Elle{Mode: baseline.ElleSound}
 	for _, size := range cfg.sizes([]int{500, 1000, 2000, 4000, 8000}) {
 		h, err := genHistory(workload.NewAppend(), size, cfg, int64(size))
@@ -236,7 +239,7 @@ func Fig10(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		parse := time.Since(parseStart)
-		rep := core.CheckHistory(h, core.Options{Level: core.AdyaSI, Timeout: cfg.timeout()})
+		rep := core.CheckHistory(h, core.Options{Level: core.AdyaSI, Timeout: cfg.timeout(), Parallelism: cfg.Parallelism})
 		total := parse + rep.Phases.Construct + rep.Phases.Encode + rep.Phases.Solve
 		t.Rows = append(t.Rows, []string{
 			gen.Name(), secs(total), secs(parse),

@@ -24,9 +24,9 @@ func Fig11(cfg Config) (*Table, error) {
 		Header: []string{"benchmark", "Viper", "Viper w/o P", "Viper w/o PO"},
 	}
 	variants := []core.Options{
-		{Level: core.AdyaSI},
-		{Level: core.AdyaSI, DisablePruning: true},
-		{Level: core.AdyaSI, DisablePruning: true, DisableCombineWrites: true, DisableCoalesce: true},
+		{Level: core.AdyaSI, Parallelism: cfg.Parallelism},
+		{Level: core.AdyaSI, Parallelism: cfg.Parallelism, DisablePruning: true},
+		{Level: core.AdyaSI, Parallelism: cfg.Parallelism, DisablePruning: true, DisableCombineWrites: true, DisableCoalesce: true},
 	}
 	gens := []workload.Generator{
 		workload.NewTwitter(1000),
@@ -78,7 +78,7 @@ func Fig12(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			v := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI}}
+			v := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI, Parallelism: cfg.Parallelism}}
 			res := v.Check(h, cfg.timeout())
 			c := cell(res)
 			if size == largest {
@@ -175,7 +175,7 @@ func Fig14(cfg Config) (*Table, error) {
 		if err := h.Validate(); err != nil {
 			verdict, elapsed = "reject", time.Since(start)
 		} else {
-			v := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI}}
+			v := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI, Parallelism: cfg.Parallelism}}
 			res := v.Check(h, cfg.timeout())
 			verdict, elapsed = res.Outcome.String(), res.Elapsed
 		}
@@ -209,7 +209,7 @@ func Fig15(cfg Config) (*Table, error) {
 			}
 			elle := &baseline.Elle{Mode: baseline.ElleInferred}
 			re := elle.Check(h, cfg.timeout())
-			v := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI}}
+			v := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI, Parallelism: cfg.Parallelism}}
 			rv := v.Check(h, cfg.timeout())
 			t.Rows = append(t.Rows, []string{
 				fmt.Sprint(size), kind.String(),

@@ -2,6 +2,7 @@ package oracle
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
@@ -197,6 +198,49 @@ func TestDifferentialOracleVsViper(t *testing.T) {
 		}
 	}
 	if checked < 300 {
+		t.Fatalf("only %d histories validated; generator too restrictive", checked)
+	}
+}
+
+// TestParallelBuildMatchesSerialOnFuzzCorpus runs the sharded-construction
+// differential over the oracle fuzz corpus: Build with Parallelism 2 and 8
+// must reproduce the serial polygraph (stats, edge sets, constraints) and
+// the same verdict on every generated history.
+func TestParallelBuildMatchesSerialOnFuzzCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	checked := 0
+	for iter := 0; iter < 400; iter++ {
+		h := randomTinyHistory(rng)
+		if h == nil {
+			continue
+		}
+		checked++
+		for _, level := range []core.Level{core.AdyaSI, core.Serializability} {
+			serial := core.Build(h, core.Options{Level: level, Parallelism: 1})
+			for _, p := range []int{2, 8} {
+				sharded := core.Build(h, core.Options{Level: level, Parallelism: p})
+				if !reflect.DeepEqual(serial.Stats(), sharded.Stats()) {
+					t.Fatalf("iter %d p=%d %v: stats %+v vs %+v\nhistory: %+v",
+						iter, p, level, serial.Stats(), sharded.Stats(), dump(h))
+				}
+				if !reflect.DeepEqual(serial.Known, sharded.Known) ||
+					!reflect.DeepEqual(serial.Cons, sharded.Cons) ||
+					serial.Contradiction != sharded.Contradiction {
+					t.Fatalf("iter %d p=%d %v: polygraph differs from serial build\nhistory: %+v",
+						iter, p, level, dump(h))
+				}
+			}
+			want := core.CheckHistory(h, core.Options{Level: level, Parallelism: 1}).Outcome
+			for _, p := range []int{2, 8} {
+				got := core.CheckHistory(h, core.Options{Level: level, Parallelism: p}).Outcome
+				if got != want {
+					t.Fatalf("iter %d p=%d %v: outcome %v, serial %v\nhistory: %+v",
+						iter, p, level, got, want, dump(h))
+				}
+			}
+		}
+	}
+	if checked < 200 {
 		t.Fatalf("only %d histories validated; generator too restrictive", checked)
 	}
 }
