@@ -1,0 +1,77 @@
+package viper
+
+import (
+	"time"
+
+	"viper/internal/core"
+	"viper/internal/history"
+)
+
+// Checker is a long-lived checking session for online auditing: append
+// transactions as they are observed, then Audit the accumulated history as
+// often as needed. Each audit reuses the polygraph-construction state — and,
+// for AdyaSI/Serializability with default solver options, the SAT solver's
+// learned clauses, activities, and topological order — of the previous
+// audits, so re-auditing a growing history costs roughly the work of the
+// delta instead of a from-scratch recheck (see DESIGN.md, "Incremental
+// checking").
+//
+// Verdicts are always equivalent to Check on a snapshot of the same
+// transactions. A Checker is not safe for concurrent use. Once an audit
+// rejects at the graph level, the verdict is permanent (the checked levels
+// are prefix-closed) and later audits return it immediately; a rejection at
+// validation, by contrast, can resolve itself when the missing write
+// arrives, so appending after any rejection is allowed.
+type Checker struct {
+	opts Options
+	inc  *core.Incremental
+}
+
+// NewChecker starts an empty checking session with the given options.
+func NewChecker(opts Options) *Checker {
+	return &Checker{opts: opts, inc: core.NewIncremental(opts)}
+}
+
+// Append adds transactions to the session's history, assigning their ids
+// in order; the caller keeps ownership of the passed structs (they are
+// copied, and the caller's ID fields are not modified).
+func (c *Checker) Append(txns ...*Txn) {
+	for _, t := range txns {
+		t2 := *t
+		c.inc.Append(&t2)
+	}
+}
+
+// AppendHistory appends every transaction of h (genesis excluded) to the
+// session, preserving their order. h itself is not modified.
+func (c *Checker) AppendHistory(h *History) {
+	c.Append(h.Txns[1:]...)
+}
+
+// Len returns the number of transactions appended so far.
+func (c *Checker) Len() int { return c.inc.Len() }
+
+// History returns a snapshot copy of the session's accumulated history,
+// suitable for an independent batch Check or for persisting.
+func (c *Checker) History() *History {
+	src := c.inc.History()
+	h := history.New()
+	for _, t := range src.Txns[1:] {
+		t2 := *t
+		h.Append(&t2)
+	}
+	return h
+}
+
+// Audit checks everything appended so far and returns the verdict, exactly
+// as Check would on the same transactions. The first audit does the full
+// batch work; later audits extend the previous state by the appended delta.
+func (c *Checker) Audit() *Result {
+	start := time.Now()
+	if err := c.inc.History().Validate(); err != nil {
+		return &Result{Outcome: Reject, Violation: err, ParseTime: time.Since(start)}
+	}
+	parse := time.Since(start)
+	rep := c.inc.Audit()
+	return &Result{Outcome: rep.Outcome, Report: rep, ParseTime: parse}
+}

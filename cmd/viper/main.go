@@ -7,7 +7,12 @@
 //
 //	viper [flags] history.jsonl
 //
-// Exit status: 0 accept, 1 reject, 2 timeout, 3 usage/IO error.
+// With -follow the log is tailed as it grows and re-audited incrementally
+// (every -every transactions or -interval, whichever comes first),
+// streaming one verdict line per audit.
+//
+// Exit status: 0 accept, 1 reject, 2 usage/IO error, 3 timeout — scripts
+// can branch on the verdict without parsing output.
 package main
 
 import (
@@ -19,12 +24,22 @@ import (
 	"strings"
 	"time"
 
+	"viper"
 	"viper/internal/core"
 	"viper/internal/histio"
 	"viper/internal/history"
 	"viper/internal/jepsen"
 	"viper/internal/ssg"
 	"viper/internal/viz"
+)
+
+// Process exit codes. Accept/reject/timeout mirror the checker verdicts;
+// usage covers flag, file, and decode errors.
+const (
+	exitAccept  = 0
+	exitReject  = 1
+	exitUsage   = 2
+	exitTimeout = 3
 )
 
 func main() {
@@ -35,6 +50,11 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("viper", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: viper [flags] history.jsonl|history.edn|session-log-dir")
+		fmt.Fprintln(stderr, "exit codes: 0 accept, 1 reject, 2 usage/IO error, 3 timeout")
+		fs.PrintDefaults()
+	}
 	var (
 		levelFlag  = fs.String("level", "adya-si", "isolation level: adya-si | gsi | strong-session-si | strong-si | serializability | read-committed")
 		drift      = fs.Duration("drift", 0, "bounded clock drift between client collectors (for gsi / strong-si / strong-session-si)")
@@ -48,34 +68,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		portfolio  = fs.Int("portfolio", 0, "differently-seeded solver instances raced per attempt (<= 1 = single solver)")
 		verbose    = fs.Bool("v", false, "print detailed statistics")
 		dotPath    = fs.String("dot", "", "write the BC-polygraph (with any counterexample cycle highlighted) as Graphviz DOT to this path")
+		follow     = fs.Bool("follow", false, "tail the log as it grows, re-auditing incrementally and streaming verdicts")
+		every      = fs.Int("every", 1000, "with -follow: re-audit after this many new transactions")
+		interval   = fs.Duration("interval", time.Second, "with -follow: re-audit at least this often while new transactions arrive")
+		idleExit   = fs.Duration("idle-exit", 0, "with -follow: exit with the last verdict after this long without new data (0 = follow forever)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return 3
+		return exitUsage
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: viper [flags] history.jsonl|session-log-dir")
-		fs.PrintDefaults()
-		return 3
+		fs.Usage()
+		return exitUsage
 	}
 
 	level, ok := parseLevel(*levelFlag)
 	if !ok {
 		fmt.Fprintf(stderr, "viper: unknown level %q\n", *levelFlag)
-		return 3
+		return exitUsage
 	}
-
-	start := time.Now()
-	h, err := loadHistory(fs.Arg(0))
-	if err != nil {
-		var verr *history.ValidationError
-		if errors.As(err, &verr) {
-			fmt.Fprintf(stdout, "reject (validation): %v\n", verr)
-			return 1
-		}
-		fmt.Fprintf(stderr, "viper: %v\n", err)
-		return 3
-	}
-	parse := time.Since(start)
 
 	opts := core.Options{
 		Level:                level,
@@ -89,6 +99,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Parallelism:          *parallel,
 		Portfolio:            *portfolio,
 	}
+
+	if *follow {
+		return runFollow(fs.Arg(0), opts, *every, *interval, *idleExit, stdout, stderr)
+	}
+
+	start := time.Now()
+	h, err := loadHistory(fs.Arg(0))
+	if err != nil {
+		var verr *history.ValidationError
+		if errors.As(err, &verr) {
+			fmt.Fprintf(stdout, "reject (validation): %v\n", verr)
+			return exitReject
+		}
+		fmt.Fprintf(stderr, "viper: %v\n", err)
+		return exitUsage
+	}
+	parse := time.Since(start)
+
 	rep := core.CheckHistory(h, opts)
 
 	st := h.ComputeStats()
@@ -121,28 +149,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if rep.Outcome == core.Reject {
-		if rep.KnownCycle != nil {
-			pg := core.Build(h, opts)
-			fmt.Fprintln(stdout, "counterexample cycle in the known dependency graph:")
-			for _, ke := range rep.KnownCycle {
-				label := ke.Kind.String()
-				if ke.Key != "" {
-					label += fmt.Sprintf("(%s)", ke.Key)
-				}
-				fmt.Fprintf(stdout, "  %s --%s--> %s\n", pg.NodeName(ke.From), label, pg.NodeName(ke.To))
-			}
-		} else {
-			// No cycle among the known edges alone: every write order fails
-			// deeper in the search. As best-effort evidence, show a
-			// forbidden cycle under the timestamp-plausible write order.
-			vo := ssg.InferFromTimestamps(h)
-			if cyc := ssg.Build(h, vo, false).FindForbiddenCycle(); cyc != nil {
-				fmt.Fprintln(stdout, "plausible counterexample (under the timestamp-inferred write order):")
-				fmt.Fprintf(stdout, "  %s\n", cyc)
-			} else {
-				fmt.Fprintln(stdout, "no acyclic compatible graph exists (every write order fails)")
-			}
-		}
+		// When no cycle exists among the known edges alone, every write
+		// order fails deeper in the search; printCounterexample then shows
+		// best-effort evidence under the timestamp-plausible write order.
+		printCounterexample(stdout, h, rep, opts)
 	}
 
 	if *dotPath != "" {
@@ -150,12 +160,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		f, err := os.Create(*dotPath)
 		if err != nil {
 			fmt.Fprintf(stderr, "viper: %v\n", err)
-			return 3
+			return exitUsage
 		}
 		if err := viz.WritePolygraph(f, pg, rep.KnownCycle); err != nil {
 			f.Close()
 			fmt.Fprintf(stderr, "viper: %v\n", err)
-			return 3
+			return exitUsage
 		}
 		f.Close()
 		fmt.Fprintf(stdout, "polygraph written to %s\n", *dotPath)
@@ -163,11 +173,121 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	switch rep.Outcome {
 	case core.Accept:
-		return 0
+		return exitAccept
 	case core.Reject:
-		return 1
+		return exitReject
 	default:
-		return 2
+		return exitTimeout
+	}
+}
+
+// runFollow tails a JSON-lines history log through the streaming decoder,
+// feeding an incremental Checker session and re-auditing every `every`
+// transactions or `interval`, whichever comes first. One verdict line is
+// streamed per audit. A validation failure is transient in a live stream
+// (the observed write may simply not have been appended yet) and is
+// reported without stopping; a graph-level reject is permanent (the
+// checked levels are prefix-closed) and exits immediately with the reject
+// code. With idleExit > 0, the process performs a final audit and exits
+// with its verdict after that long without new data.
+func runFollow(path string, opts core.Options, every int, interval, idleExit time.Duration, stdout, stderr io.Writer) int {
+	if every < 1 {
+		every = 1
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "viper: %v\n", err)
+		return exitUsage
+	}
+	defer f.Close()
+
+	dec := histio.NewDecoder(f)
+	dec.SetTail(true)
+	c := viper.NewChecker(opts)
+
+	poll := interval / 10
+	if poll <= 0 || poll > 100*time.Millisecond {
+		poll = 100 * time.Millisecond
+	}
+
+	pending := 0 // txns appended since the last audit
+	lastData := time.Now()
+	lastAudit := time.Now()
+
+	audit := func() (int, bool) {
+		pending = 0
+		lastAudit = time.Now()
+		res := c.Audit()
+		switch {
+		case res.Violation != nil:
+			// Transient in a live stream: keep following.
+			fmt.Fprintf(stdout, "audit %d txns: pending (validation: %v)\n", c.Len(), res.Violation)
+			return 0, false
+		case res.Outcome == viper.Reject:
+			fmt.Fprintf(stdout, "audit %d txns: reject\n", c.Len())
+			printCounterexample(stdout, c.History(), res.Report, opts)
+			return exitReject, true
+		case res.Outcome == viper.Timeout:
+			fmt.Fprintf(stdout, "audit %d txns: timeout\n", c.Len())
+			return exitTimeout, true
+		default:
+			fmt.Fprintf(stdout, "audit %d txns: accept (construct %.3fs, solve %.3fs)\n",
+				c.Len(), res.Report.Phases.Construct.Seconds(), res.Report.Phases.Solve.Seconds())
+			return exitAccept, false
+		}
+	}
+
+	for {
+		tx, err := dec.Next()
+		switch {
+		case err == nil:
+			c.Append(tx)
+			pending++
+			lastData = time.Now()
+			if pending >= every {
+				if code, done := audit(); done {
+					return code
+				}
+			}
+		case err == io.EOF:
+			if pending > 0 && time.Since(lastAudit) >= interval {
+				if code, done := audit(); done {
+					return code
+				}
+			}
+			if idleExit > 0 && time.Since(lastData) >= idleExit {
+				code, _ := audit()
+				return code
+			}
+			time.Sleep(poll)
+		default:
+			fmt.Fprintf(stderr, "viper: %v\n", err)
+			return exitUsage
+		}
+	}
+}
+
+// printCounterexample renders a rejection's evidence (shared by the batch
+// and follow paths).
+func printCounterexample(stdout io.Writer, h *history.History, rep *core.Report, opts core.Options) {
+	if rep.KnownCycle != nil {
+		pg := core.Build(h, opts)
+		fmt.Fprintln(stdout, "counterexample cycle in the known dependency graph:")
+		for _, ke := range rep.KnownCycle {
+			label := ke.Kind.String()
+			if ke.Key != "" {
+				label += fmt.Sprintf("(%s)", ke.Key)
+			}
+			fmt.Fprintf(stdout, "  %s --%s--> %s\n", pg.NodeName(ke.From), label, pg.NodeName(ke.To))
+		}
+		return
+	}
+	vo := ssg.InferFromTimestamps(h)
+	if cyc := ssg.Build(h, vo, false).FindForbiddenCycle(); cyc != nil {
+		fmt.Fprintln(stdout, "plausible counterexample (under the timestamp-inferred write order):")
+		fmt.Fprintf(stdout, "  %s\n", cyc)
+	} else {
+		fmt.Fprintln(stdout, "no acyclic compatible graph exists (every write order fails)")
 	}
 }
 

@@ -138,10 +138,13 @@ func CheckHistory(h *history.History, opts Options) *Report {
 	if opts.Level == ReadCommitted {
 		return checkReadCommitted(h)
 	}
-	pg := Build(h, opts)
-	rep := CheckPolygraph(pg, opts)
-	rep.Phases.Construct, rep.Phases.ConstructCPU, rep.ConstructWorkers = pg.BuildTimings()
-	return rep
+	// One-shot checking is a single-audit incremental session: the first
+	// audit always assembles the full polygraph and runs the batch solve,
+	// so the verdict, report, and witness are those of the historical
+	// monolithic pipeline.
+	inc := NewIncremental(opts)
+	inc.h = h
+	return inc.Audit()
 }
 
 // CheckPolygraph decides whether the polygraph is acyclic (Definition 3) —

@@ -1,0 +1,793 @@
+// Online incremental checking: a long-lived session that extends its
+// BC-polygraph construction state — and, when sound, its solver state —
+// as transactions arrive, instead of recomputing everything from genesis
+// at every audit.
+//
+// The construction side is always incremental: the readers index, the
+// per-key writer lists, and the per-key emission records (known edges and
+// constraints, in the serial build's order) persist across audits. An
+// appended batch only dirties the keys it writes or reads; clean keys keep
+// their records verbatim, so the O(chains²)-per-key constraint pass — the
+// dominant construction cost — reruns only where the history actually
+// changed. Each audit then either assembles the records into a Polygraph
+// and runs the ordinary batch solve (the cold path, used for levels with
+// real-time edges, for ablation options, and for the first audit so the
+// one-shot wrappers stay byte-compatible with the historical batch
+// pipeline), or feeds the deltas to a persistent solver (the warm path).
+//
+// The warm path keeps one SAT solver and one acyclicity theory alive for
+// the whole session: learned clauses, VSIDS activities, saved phases, and
+// the Pearce–Kelly topological order all carry over, and an audit adds
+// only the new constants, edge variables, and clauses. This is sound
+// exactly when the audit-to-audit delta is monotone clause addition:
+//
+//   - Known edges only ever accrue, and theory constants are monotone:
+//     more edges can only shrink the model set.
+//   - A constraint's sides only grow (new readers of a chain tail add
+//     implications on the side's existing selector); the selector encoding
+//     (sel → first side, ¬sel → second side) is equisatisfiable with the
+//     batch encoding and extends additively, whereas the batch path's 1-1
+//     XOR does not.
+//   - Learned clauses are logical consequences of the formula they were
+//     learned from, and the formula only gains clauses, so they remain
+//     valid in every later round.
+//
+// The monotonicity breaks when a key's writer-chain partition changes
+// (e.g. a new read-modify-write merges two chains, or combining falls back
+// to singletons): previously encoded pair constraints then reference stale
+// chain boundaries. The session detects this by comparing each dirtied
+// key's chain partition against the one it last recorded and rebuilds the
+// solver from the (still incremental) record store when any prior chain is
+// not preserved verbatim. Warm solves are always exact — no heuristic
+// pruning — because pruning's assumption edges would enter the theory as
+// irrevocable constants; the schedule-consistent phase bias keeps healthy
+// histories near-linear regardless.
+//
+// Rejection is cached: SI (and the other checked levels) are closed under
+// history prefixes, so once a validated prefix is rejected every extension
+// is rejected too, and the session returns the rejecting report from then
+// on. (Validation itself is NOT monotone — a read of a not-yet-appended
+// write is a validation error on the prefix and legal on the extension —
+// which is why callers re-validate the full history before every audit.)
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"viper/internal/acyclic"
+	"viper/internal/history"
+	"viper/internal/sat"
+)
+
+// rangeObs remembers a committed range query so that keys first written
+// after the query was indexed can retroactively contribute the genesis
+// observations the batch build derives: a range query silent about a
+// written key inside its bounds read that key's initial version.
+type rangeObs struct {
+	reader   history.TxnID
+	lo, hi   history.Key
+	returned map[history.Key]bool
+}
+
+// sideEdge is one edge of a constraint side; lit caches the solver
+// literal once the edge variable exists (sat.LitUndef until then — pruned
+// constraints don't allocate variables they never need).
+type sideEdge struct {
+	e   Edge
+	lit sat.Lit
+}
+
+// consState is the warm solver's record of one constraint: its selector
+// variable and side edge lists. For a fixed constraint identity the side
+// lists are prefix-stable across regenerations — they start with the
+// chain-pair's leading edge and extend only with reader edges in arrival
+// order (a chain-boundary change mints a new identity, and a chain
+// repartition drops the warm state entirely) — so growth is recognized by
+// length alone and new edges are exactly the regenerated list's suffix.
+type consState struct {
+	sel           sat.Var
+	first, second []sideEdge
+	// encoded marks that the constraint's implication clauses are in the
+	// solver. Pruned constraints stay clause-free: their forced side is
+	// assumed edge-by-edge instead (see auditWarm).
+	encoded bool
+}
+
+// warmState is the persistent solver + theory reused across audits.
+type warmState struct {
+	s  *sat.Solver
+	th *acyclic.EdgeTheory
+	// cons resolves a constraint's cross-audit identity. The key level is
+	// split off so the hot per-constraint lookup hashes two edges, not a
+	// string.
+	cons map[history.Key]map[[2]Edge]*consState
+	// consList holds the constraints in creation order: the per-audit
+	// pruning pass iterates it instead of the map so assumption order is
+	// deterministic without sorting.
+	consList []*consState
+	// kinds records the provenance of inserted constant edges, for
+	// counterexample cycles.
+	kinds map[Edge]KnownEdge
+	// intraHigh is the h.Txns index up to which intra edges are inserted.
+	intraHigh int
+	// assumpBuf is reused across audits for the assumption literals.
+	assumpBuf []sat.Lit
+}
+
+// Incremental is a long-lived checking session over a growing history.
+// Append transactions (Append / the owned History), then Audit; each audit
+// reuses the construction and solver state of the previous ones. The
+// session is not safe for concurrent use.
+//
+// Audit requires the full history to be validated first; the public
+// viper.Checker wrapper does this on every audit. Reports from the warm
+// path carry cumulative solver statistics (the solver lives across
+// audits) and count constraints before known-edge elision, so their
+// Constraints/Solver fields are comparable across audits of one session
+// rather than to a from-scratch batch report; verdicts and witnesses are
+// always equivalent to the batch path on the same history.
+type Incremental struct {
+	opts Options
+	h    *history.History
+
+	// Persistent construction state.
+	indexed   int // h.Txns high-water mark already folded into the indexes
+	readers   map[history.Key]map[history.TxnID][]history.TxnID
+	writers   map[history.Key][]history.TxnID
+	knownKeys map[history.Key]bool
+	ranges    []rangeObs
+	dirty     map[history.Key]bool
+	records   map[history.Key]*keyRecord
+	chainSigs map[history.Key][][]history.TxnID
+
+	// pendingWarm holds keys regenerated since the last warm encode.
+	pendingWarm      map[history.Key]bool
+	partitionChanged bool
+
+	warm     *warmState
+	rejected *Report // cached graph rejection (levels are prefix-closed)
+	audits   int
+}
+
+// NewIncremental returns an empty checking session. The zero history
+// contains only genesis; use Append (or write to History()) to grow it.
+func NewIncremental(opts Options) *Incremental {
+	return &Incremental{
+		opts:        opts,
+		h:           history.New(),
+		indexed:     1,
+		readers:     make(map[history.Key]map[history.TxnID][]history.TxnID),
+		writers:     make(map[history.Key][]history.TxnID),
+		knownKeys:   make(map[history.Key]bool),
+		dirty:       make(map[history.Key]bool),
+		records:     make(map[history.Key]*keyRecord),
+		chainSigs:   make(map[history.Key][][]history.TxnID),
+		pendingWarm: make(map[history.Key]bool),
+	}
+}
+
+// History returns the session's owned history.
+func (inc *Incremental) History() *history.History { return inc.h }
+
+// Append adds a transaction to the session's history, assigning its id.
+func (inc *Incremental) Append(t *history.Txn) history.TxnID { return inc.h.Append(t) }
+
+// Len returns the number of appended transactions (genesis excluded).
+func (inc *Incremental) Len() int { return inc.h.Len() }
+
+// ser reports whether the session uses the transaction-level mapping.
+func (inc *Incremental) ser() bool { return inc.opts.Level == Serializability }
+
+// numNodes is the current event-node count (before auxiliary nodes).
+func (inc *Incremental) numNodes() int32 {
+	if inc.ser() {
+		return int32(len(inc.h.Txns))
+	}
+	return int32(len(inc.h.Txns)) * 2
+}
+
+// warmCapable reports whether the configured options admit the persistent
+// solver at all: levels with real-time obligations restructure their
+// auxiliary suffix-chain edges on every append (not monotone), and the
+// lazy-theory and portfolio ablations build per-attempt solvers by design.
+func (inc *Incremental) warmCapable() bool {
+	return (inc.opts.Level == AdyaSI || inc.opts.Level == Serializability) &&
+		!inc.opts.LazyTheory && inc.opts.Portfolio <= 1
+}
+
+// Audit checks the full current history, reusing state from prior audits.
+// The history must have been validated (history.Validate) since the last
+// append. The verdict always equals CheckHistory on an identical history.
+func (inc *Incremental) Audit() *Report {
+	if inc.opts.Level == ReadCommitted {
+		return checkReadCommitted(inc.h)
+	}
+	constructStart := time.Now()
+	inc.update()
+	regenWall, regenCPU, workers := inc.regen()
+
+	if inc.rejected != nil {
+		inc.audits++
+		return inc.rejected
+	}
+
+	var rep *Report
+	if inc.warmCapable() && inc.audits > 0 {
+		if inc.partitionChanged {
+			inc.warm = nil
+			inc.partitionChanged = false
+		}
+		rep = inc.auditWarm(constructStart, regenWall, regenCPU, workers)
+	}
+	if rep == nil {
+		// Cold path: assemble the record store into a Polygraph and run the
+		// ordinary batch solve (pruning, portfolio, lazy theory all apply).
+		pg := inc.assemble()
+		construct := time.Since(constructStart)
+		rep = CheckPolygraph(pg, inc.opts)
+		rep.Phases.Construct = construct
+		rep.Phases.ConstructCPU = construct - regenWall + regenCPU
+		rep.ConstructWorkers = workers
+	}
+	if rep.Outcome == Reject {
+		inc.rejected = rep
+	}
+	inc.audits++
+	return rep
+}
+
+// addReader records one external observation (key, writer → reader),
+// deduplicated exactly like the batch read collection, and dirties the key.
+func (inc *Incremental) addReader(key history.Key, w, r history.TxnID) {
+	if w == r {
+		return
+	}
+	m := inc.readers[key]
+	if m == nil {
+		m = make(map[history.TxnID][]history.TxnID)
+		inc.readers[key] = m
+	}
+	for _, prev := range m[w] {
+		if prev == r {
+			return
+		}
+	}
+	m[w] = append(m[w], r)
+	inc.dirty[key] = true
+}
+
+// update folds transactions appended since the last audit into the
+// persistent indexes, marking the keys they touch dirty. Processing new
+// transactions in id order keeps every per-(key, writer) reader list in
+// the same order the batch read collection produces.
+func (inc *Incremental) update() {
+	h := inc.h
+	if inc.indexed >= len(h.Txns) {
+		return
+	}
+	newTxns := h.Txns[inc.indexed:]
+	inc.indexed = len(h.Txns)
+
+	// New committed writers first: they define which keys are new, which
+	// older range queries must retroactively observe.
+	var newKeys []history.Key
+	for _, t := range newTxns {
+		if !t.Committed() {
+			continue
+		}
+		for key := range t.LastWritePerKey() {
+			inc.writers[key] = append(inc.writers[key], t.ID)
+			inc.dirty[key] = true
+			if !inc.knownKeys[key] {
+				inc.knownKeys[key] = true
+				newKeys = append(newKeys, key)
+			}
+		}
+	}
+	if len(newKeys) > 0 {
+		sort.Slice(newKeys, func(i, j int) bool { return newKeys[i] < newKeys[j] })
+		for _, ro := range inc.ranges {
+			for _, k := range newKeys {
+				if k >= ro.lo && k <= ro.hi && !ro.returned[k] {
+					inc.addReader(k, history.GenesisID, ro.reader)
+				}
+			}
+		}
+	}
+
+	for _, t := range newTxns {
+		if !t.Committed() {
+			continue
+		}
+		t.ExternalReads(func(key history.Key, obs history.WriteID) {
+			ref, ok := h.WriterOf(obs)
+			if !ok {
+				return // unreachable on validated histories
+			}
+			inc.addReader(key, ref.Txn, t.ID)
+		})
+		for i := range t.Ops {
+			op := &t.Ops[i]
+			if op.Kind != history.OpRange {
+				continue
+			}
+			returned := make(map[history.Key]bool, len(op.Result))
+			for _, v := range op.Result {
+				returned[v.Key] = true
+			}
+			for _, k := range h.KeysInRange(op.Lo, op.Hi) {
+				if !returned[k] {
+					inc.addReader(k, history.GenesisID, t.ID)
+				}
+			}
+			inc.ranges = append(inc.ranges, rangeObs{reader: t.ID, lo: op.Lo, hi: op.Hi, returned: returned})
+		}
+	}
+}
+
+// regenKey rebuilds one key's emission record and chain partition from the
+// current indexes. lite is only consulted for the node mapping (classify);
+// it is shared read-only across workers.
+func (inc *Incremental) regenKey(lite *Polygraph, key history.Key, combine, coalesce bool) (*keyRecord, [][]history.TxnID) {
+	writers := inc.writers[key]
+	byWriter := inc.readers[key]
+	rec := &keyRecord{}
+	recordReadDeps(lite, byWriter, rec)
+	lite.buildKeyConstraints(key, writers, byWriter, combine, coalesce, keyRecorder{pg: lite, rec: rec})
+	chains := lite.writerChains(writers, byWriter, combine)
+	sig := make([][]history.TxnID, len(chains))
+	for i, c := range chains {
+		sig[i] = c.members
+	}
+	return rec, sig
+}
+
+// regen rebuilds the emission records of every dirty written key (under a
+// work-stealing pool when Options.Parallelism admits one — per-key records
+// are independent, and per-key costs vary wildly) and flags any chain
+// partition that was not preserved verbatim. It returns the pass's wall
+// time, summed per-worker busy time, and worker count for the report's
+// construction accounting.
+func (inc *Incremental) regen() (wall, cpu time.Duration, workers int) {
+	keys := make([]history.Key, 0, len(inc.dirty))
+	for k := range inc.dirty {
+		if len(inc.writers[k]) > 0 {
+			keys = append(keys, k) // never-written keys have nothing to emit
+		}
+	}
+	inc.dirty = make(map[history.Key]bool)
+	if len(keys) == 0 {
+		return 0, 0, 1
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	combine, coalesce := !inc.opts.DisableCombineWrites, !inc.opts.DisableCoalesce
+	lite := &Polygraph{ser: inc.ser()}
+	recs := make([]*keyRecord, len(keys))
+	sigs := make([][][]history.TxnID, len(keys))
+
+	n := inc.opts.workers()
+	start := time.Now()
+	if n <= 1 {
+		workers = 1
+		for i, key := range keys {
+			recs[i], sigs[i] = inc.regenKey(lite, key, combine, coalesce)
+		}
+		wall = time.Since(start)
+		cpu = wall
+	} else {
+		workers = n
+		var busy atomic.Int64
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				t0 := time.Now()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(keys) {
+						break
+					}
+					recs[i], sigs[i] = inc.regenKey(lite, keys[i], combine, coalesce)
+				}
+				busy.Add(int64(time.Since(t0)))
+			}()
+		}
+		wg.Wait()
+		wall = time.Since(start)
+		cpu = time.Duration(busy.Load())
+	}
+
+	for i, key := range keys {
+		inc.records[key] = recs[i]
+		if old, ok := inc.chainSigs[key]; ok && !chainsPreserved(old, sigs[i]) {
+			inc.partitionChanged = true
+		}
+		inc.chainSigs[key] = sigs[i]
+		inc.pendingWarm[key] = true
+	}
+	return wall, cpu, workers
+}
+
+// chainsPreserved reports whether every old chain appears verbatim (same
+// head, same members, same order) in the new partition. New chains over
+// new writers are the only permitted difference; anything else means
+// previously encoded pair constraints reference stale chain boundaries.
+func chainsPreserved(old, cur [][]history.TxnID) bool {
+	heads := make(map[history.TxnID][]history.TxnID, len(cur))
+	for _, c := range cur {
+		heads[c[0]] = c
+	}
+	for _, o := range old {
+		c, ok := heads[o[0]]
+		if !ok || len(c) != len(o) {
+			return false
+		}
+		for i := range o {
+			if c[i] != o[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// assemble materializes the record store as a Polygraph, replaying per-key
+// records in the serial build's emission order (the same replay the
+// sharded batch build uses, so the result is byte-identical to Build for
+// the same history).
+func (inc *Incremental) assemble() *Polygraph {
+	h := inc.h
+	pg := &Polygraph{
+		H:        h,
+		Level:    inc.opts.Level,
+		ser:      inc.ser(),
+		knownSet: make(map[Edge]bool),
+	}
+	pg.NumNodes = inc.numNodes()
+	pg.auxBase = pg.NumNodes
+	pg.initNodeTS()
+	pg.buildWorkers = 1
+
+	if !pg.ser {
+		for _, t := range h.Txns {
+			if t.Committed() {
+				pg.addKnown(Edge{pg.Begin(t.ID), pg.Commit(t.ID)}, EdgeIntra, "")
+			}
+		}
+	}
+	keys := h.Keys()
+	for _, key := range keys {
+		if rec := inc.records[key]; rec != nil {
+			for _, e := range rec.wr {
+				pg.addKnown(e, EdgeWR, key)
+			}
+		}
+	}
+	for _, key := range keys {
+		if rec := inc.records[key]; rec != nil {
+			for j := range rec.ops {
+				pg.applyOp(&rec.ops[j], key)
+			}
+		}
+	}
+	if inc.opts.Level == StrongSessionSI {
+		pg.addSessionEdges()
+	}
+	if inc.opts.Level.needsRealTime() {
+		pg.addRealTimeEdges(inc.opts)
+	}
+	return pg
+}
+
+// cycleEvidence renders a constant cycle — node path v..u plus the closing
+// edge u→v that failed to insert — with each edge's provenance.
+func cycleEvidence(path []int32, closing KnownEdge, kinds map[Edge]KnownEdge) []KnownEdge {
+	out := make([]KnownEdge, 0, len(path))
+	for i := 0; i+1 < len(path); i++ {
+		e := Edge{path[i], path[i+1]}
+		if ke, ok := kinds[e]; ok {
+			out = append(out, ke)
+		} else {
+			out = append(out, KnownEdge{Edge: e})
+		}
+	}
+	return append(out, closing)
+}
+
+// auditWarm runs one audit against the persistent solver, encoding only
+// what changed since the last encode (everything, after a rebuild). It
+// returns nil if it encountered a record outside the warm invariants —
+// the caller then falls back to the cold path for this audit.
+func (inc *Incremental) auditWarm(constructStart time.Time, regenWall, regenCPU time.Duration, workers int) *Report {
+	opts := &inc.opts
+	h := inc.h
+	construct := time.Since(constructStart)
+
+	rebuild := inc.warm == nil
+	if rebuild {
+		w := &warmState{
+			s:     sat.New(),
+			th:    acyclic.NewEdgeTheory(0),
+			cons:  make(map[history.Key]map[[2]Edge]*consState),
+			kinds: make(map[Edge]KnownEdge),
+		}
+		w.s.SetTheory(w.th)
+		inc.warm = w
+	}
+	w := inc.warm
+
+	encodeStart := time.Now()
+	w.s.Relax()
+	n := inc.numNodes()
+	w.th.Grow(int(n))
+
+	rep := &Report{Level: opts.Level, Nodes: int(n), ConstructWorkers: workers}
+	rep.Phases.Construct = construct
+	rep.Phases.ConstructCPU = construct - regenWall + regenCPU
+
+	// Constants go straight into the theory graph; a failed insertion is a
+	// cycle among permanently-true edges, i.e. an immediate rejection.
+	var cyc []KnownEdge
+	insert := func(e Edge, kind EdgeKind, key history.Key) bool {
+		if e.From == e.To {
+			return true
+		}
+		path, ok := w.th.InsertConstantPath(e.From, e.To)
+		if !ok {
+			cyc = cycleEvidence(path, KnownEdge{Edge: e, Kind: kind, Key: key}, w.kinds)
+			return false
+		}
+		if _, seen := w.kinds[e]; !seen {
+			w.kinds[e] = KnownEdge{Edge: e, Kind: kind, Key: key}
+		}
+		return true
+	}
+
+	if !inc.ser() {
+		for _, t := range h.Txns[w.intraHigh:] {
+			if !t.Committed() {
+				continue
+			}
+			if !insert(Edge{int32(t.ID) * 2, int32(t.ID)*2 + 1}, EdgeIntra, "") {
+				break
+			}
+		}
+		w.intraHigh = len(h.Txns)
+	}
+
+	// New edge variables start phase-biased by the maintained topological
+	// order, same role as the batch path's schedule bias: an edge running
+	// forward in the current order is probably present.
+	edgeLit := func(e Edge) sat.Lit {
+		if v, ok := w.th.Lookup(e.From, e.To); ok {
+			return sat.PosLit(v)
+		}
+		v := w.th.EdgeVar(w.s, e.From, e.To)
+		if !opts.DisablePhaseBias {
+			w.s.SetPhase(v, w.th.Order(e.From) < w.th.Order(e.To))
+		}
+		return sat.PosLit(v)
+	}
+
+	var keys []history.Key
+	if rebuild {
+		keys = h.Keys()
+	} else {
+		keys = make([]history.Key, 0, len(inc.pendingWarm))
+		for k := range inc.pendingWarm {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	}
+	inc.pendingWarm = make(map[history.Key]bool)
+
+encode:
+	for _, key := range keys {
+		rec := inc.records[key]
+		if rec == nil {
+			continue
+		}
+		for _, e := range rec.wr {
+			if !insert(e, EdgeWR, key) {
+				break encode
+			}
+		}
+		kcons := w.cons[key]
+		for j := range rec.ops {
+			op := &rec.ops[j]
+			if !op.cons {
+				if !insert(op.edge, op.kind, key) {
+					break encode
+				}
+				continue
+			}
+			if op.fBad || op.sBad || (!op.hasID && len(op.first) > 0 && len(op.second) > 0) {
+				// Outside the warm invariants (chain-pair constraints never
+				// carry impossible sides); rebuild cold next time.
+				inc.warm = nil
+				return nil
+			}
+			if len(op.first) == 0 || len(op.second) == 0 {
+				continue // one side holds trivially
+			}
+			st := kcons[op.id]
+			if st == nil {
+				st = &consState{sel: w.s.NewVar()}
+				if kcons == nil {
+					kcons = make(map[[2]Edge]*consState)
+					w.cons[key] = kcons
+				}
+				kcons[op.id] = st
+				w.consList = append(w.consList, st)
+				if !opts.DisablePhaseBias {
+					fwd := true
+					for _, e := range op.first {
+						if w.th.Order(e.From) >= w.th.Order(e.To) {
+							fwd = false
+							break
+						}
+					}
+					w.s.SetPhase(st.sel, fwd)
+				}
+			}
+			for _, e := range op.first[len(st.first):] {
+				se := sideEdge{e: e, lit: sat.LitUndef}
+				if st.encoded {
+					se.lit = edgeLit(e)
+					w.s.AddClause(sat.NegLit(st.sel), se.lit)
+				}
+				st.first = append(st.first, se)
+			}
+			for _, e := range op.second[len(st.second):] {
+				se := sideEdge{e: e, lit: sat.LitUndef}
+				if st.encoded {
+					se.lit = edgeLit(e)
+					w.s.AddClause(sat.PosLit(st.sel), se.lit)
+				}
+				st.second = append(st.second, se)
+			}
+		}
+	}
+
+	rep.KnownEdges = w.th.NumConstants()
+	rep.Constraints = len(w.consList)
+	rep.EdgeVars = w.s.NumVars()
+	rep.Solver = w.s.Stats
+	rep.Phases.Encode = time.Since(encodeStart)
+
+	if cyc != nil {
+		rep.Outcome = Reject
+		rep.KnownCycle = cyc
+		return rep
+	}
+
+	solveStart := time.Now()
+	if opts.Timeout > 0 {
+		w.s.SetDeadline(time.Now().Add(opts.Timeout))
+	} else {
+		w.s.SetDeadline(time.Time{})
+	}
+
+	// The warm analog of the batch path's §3.5 pruning. Constraints whose
+	// sides the maintained topological order (standing in for the timestamp
+	// schedule) classifies as one-way — the other side has a backward edge
+	// of span >= k — are not encoded at all: the consistent side's edge
+	// literals are assumed directly, which satisfies the disjunction
+	// outright without putting its clauses in the solver. Only constraints
+	// the radius cannot force carry clauses, mirroring the batch path's
+	// small pruned encodings; once encoded, a constraint stays encoded
+	// (clause addition is monotone) and later prunes assume its selector
+	// instead. Unsat under assumptions is not a refutation — relax the
+	// radius and retry, doubling k exactly like the batch loop.
+	sideLit := func(side []sideEdge, i int) sat.Lit {
+		if side[i].lit == sat.LitUndef {
+			side[i].lit = edgeLit(side[i].e)
+		}
+		return side[i].lit
+	}
+	encodeCons := func(st *consState) {
+		st.encoded = true
+		for i := range st.first {
+			w.s.AddClause(sat.NegLit(st.sel), sideLit(st.first, i))
+		}
+		for i := range st.second {
+			w.s.AddClause(sat.PosLit(st.sel), sideLit(st.second, i))
+		}
+	}
+	k := opts.initialK()
+	if opts.DisablePruning {
+		k = 0
+	}
+	var res sat.Result
+	for {
+		assumps := w.assumpBuf[:0]
+		pruned := 0
+		if k > 0 {
+			bad := func(side []sideEdge) bool {
+				for i := range side {
+					e := side[i].e
+					if int(w.th.Order(e.From))-int(w.th.Order(e.To)) >= k {
+						return true
+					}
+				}
+				return false
+			}
+			for _, st := range w.consList {
+				fBad, sBad := bad(st.first), bad(st.second)
+				switch {
+				case fBad == sBad:
+					// Both schedule-consistent, or neither: the radius has
+					// no opinion, so the solver must own this constraint.
+					// (Unlike the batch path, both-sides-bad is not a fast
+					// Unsat here — no stride constants back the prune.)
+					if !st.encoded {
+						encodeCons(st)
+					}
+				case fBad:
+					pruned++
+					if st.encoded {
+						assumps = append(assumps, sat.NegLit(st.sel))
+					} else {
+						for i := range st.second {
+							assumps = append(assumps, sideLit(st.second, i))
+						}
+					}
+				case sBad:
+					pruned++
+					if st.encoded {
+						assumps = append(assumps, sat.PosLit(st.sel))
+					} else {
+						for i := range st.first {
+							assumps = append(assumps, sideLit(st.first, i))
+						}
+					}
+				}
+			}
+		} else {
+			for _, st := range w.consList {
+				if !st.encoded {
+					encodeCons(st)
+				}
+			}
+		}
+		w.assumpBuf = assumps
+		rep.FinalK = k
+		rep.PrunedConstraints = pruned
+		res = w.s.SolveAssuming(assumps...)
+		if res == sat.Unsat && w.s.Okay() && len(assumps) > 0 {
+			// Unsatisfiable only under the pruning assumptions.
+			rep.Retries++
+			w.s.Relax()
+			k *= 2
+			if k >= int(n) {
+				k = 0 // final, exact attempt
+			}
+			continue
+		}
+		break
+	}
+	rep.Solver = w.s.Stats
+	rep.EdgeVars = w.s.NumVars()
+	switch res {
+	case sat.Sat:
+		rep.Outcome = Accept
+		witness := make([]int32, n)
+		for i := int32(0); i < n; i++ {
+			witness[i] = w.th.Order(i)
+		}
+		rep.WitnessPositions = witness
+		rep.selfCheck(&Polygraph{H: h, Level: opts.Level}, *opts)
+	case sat.Unsat:
+		rep.Outcome = Reject
+	default:
+		rep.Outcome = Timeout
+	}
+	rep.Phases.Solve = time.Since(solveStart)
+	return rep
+}

@@ -47,6 +47,18 @@ type keyOp struct {
 	first, second []Edge
 	fBad, sBad    bool
 	kind2         EdgeKind
+
+	// id is a cross-audit identity for the constraint, used by the
+	// incremental checker to match a regenerated constraint with the one
+	// it encoded in an earlier audit round: the classified leading edge of
+	// each side. Each side's leading edge is the pair's ww edge (or, for
+	// uncoalesced reader constraints, the reader's rw edge), which pins
+	// down the chain pair (and reader) independently of how the remaining
+	// side members grow as new readers arrive. hasID is false when either
+	// side was empty or its leading edge did not classify as a normal
+	// edge; such constraints are never warm-matched.
+	id    [2]Edge
+	hasID bool
 }
 
 // keyRecord is everything one key contributes to the polygraph.
@@ -84,10 +96,19 @@ func (kr keyRecorder) constraint(first, second []eventEdge, kind1, kind2 EdgeKin
 	}
 	f, fBad := resolve(first)
 	s, sBad := resolve(second)
-	kr.rec.ops = append(kr.rec.ops, keyOp{
+	op := keyOp{
 		cons: true, first: f, second: s, fBad: fBad, sBad: sBad,
 		kind: kind1, kind2: kind2,
-	})
+	}
+	if len(first) > 0 && len(second) > 0 {
+		e0, cls0 := kr.pg.classify(first[0].fromT, first[0].fromCommit, first[0].toT, first[0].toCommit)
+		e1, cls1 := kr.pg.classify(second[0].fromT, second[0].fromCommit, second[0].toT, second[0].toCommit)
+		if cls0 == edgeNormal && cls1 == edgeNormal {
+			op.id = [2]Edge{e0, e1}
+			op.hasID = true
+		}
+	}
+	kr.rec.ops = append(kr.rec.ops, op)
 }
 
 // buildSharded is the parallel counterpart of Build's read-dependency and
@@ -164,14 +185,25 @@ func (pg *Polygraph) applyOp(op *keyOp, key history.Key) {
 			pg.addKnown(e, op.kind, key)
 		}
 	default:
+		// Filter without mutating the record: a session replays the same
+		// ops across audits (and a prior audit's portfolio losers may still
+		// be reading constraint sides that alias them), so in-place
+		// compaction would corrupt shared state. The no-known-edge common
+		// case stays allocation-free by aliasing the record's slice.
 		filter := func(side []Edge) []Edge {
-			kept := side[:0]
-			for _, e := range side {
-				if !pg.knownSet[e] {
-					kept = append(kept, e)
+			for i, e := range side {
+				if pg.knownSet[e] {
+					kept := make([]Edge, i, len(side)-1)
+					copy(kept, side[:i])
+					for _, rest := range side[i+1:] {
+						if !pg.knownSet[rest] {
+							kept = append(kept, rest)
+						}
+					}
+					return kept
 				}
 			}
-			return kept
+			return side
 		}
 		f, s := filter(op.first), filter(op.second)
 		if len(f) == 0 || len(s) == 0 {

@@ -1,0 +1,214 @@
+package histio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"viper/internal/history"
+)
+
+// DecodeError is a position-annotated decoding failure: the 1-based line
+// of the stream it occurred on, the 0-based transaction record index
+// (HeaderRecord for the header line), and — when the failure is inside a
+// specific operation — the op's index and kind.
+type DecodeError struct {
+	Line   int    // 1-based line number
+	Record int    // 0-based txn record, or HeaderRecord
+	Op     int    // 0-based op index within the record, or -1
+	Kind   string // op kind ("r", "w", "q", ...) when Op >= 0
+	Err    error
+}
+
+// HeaderRecord is the DecodeError.Record value for header-line failures.
+const HeaderRecord = -1
+
+func (e *DecodeError) Error() string {
+	switch {
+	case e.Record == HeaderRecord:
+		return fmt.Sprintf("histio: line %d: header: %v", e.Line, e.Err)
+	case e.Op >= 0:
+		return fmt.Sprintf("histio: line %d: record %d: op %d (kind %q): %v",
+			e.Line, e.Record, e.Op, e.Kind, e.Err)
+	default:
+		return fmt.Sprintf("histio: line %d: record %d: %v", e.Line, e.Record, e.Err)
+	}
+}
+
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// Decoder reads a history log incrementally from an io.Reader: one
+// transaction per Next call, without materializing the whole history.
+// This is the streaming half of the online checker — a session feeds
+// decoded transactions straight into a viper.Checker as they appear.
+//
+// Next returns io.EOF at the end of the stream. In tail mode (SetTail) a
+// partial final line — a record whose trailing newline has not been
+// written yet — is buffered rather than decoded, and Next returns io.EOF
+// until the line completes; callers are expected to poll Next again as
+// the underlying stream grows, as `viper -follow` does. Outside tail
+// mode the stream is assumed complete: a final unterminated line is
+// decoded as-is and the header's declared transaction count is enforced
+// at EOF.
+type Decoder struct {
+	br        *bufio.Reader
+	line      int // lines fully consumed
+	rec       int // txn records successfully decoded
+	declared  int // header's txn count
+	gotHeader bool
+	tail      bool
+	partial   []byte // buffered unterminated final line (tail mode)
+	sticky    error  // terminal decode error, returned forever after
+}
+
+// NewDecoder returns a streaming decoder over r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{br: bufio.NewReaderSize(r, 1<<20), declared: -1}
+}
+
+// SetTail toggles tail mode (see type docs); set it before the first Next.
+func (d *Decoder) SetTail(tail bool) { d.tail = tail }
+
+// Line returns the number of stream lines fully consumed so far.
+func (d *Decoder) Line() int { return d.line }
+
+// Decoded returns the number of transaction records decoded so far.
+func (d *Decoder) Decoded() int { return d.rec }
+
+// Declared returns the header's transaction count, or -1 before the
+// header has been read.
+func (d *Decoder) Declared() int {
+	if !d.gotHeader {
+		return -1
+	}
+	return d.declared
+}
+
+// nextLine returns the next non-blank line, not including the newline.
+// It returns io.EOF when the stream is exhausted; in tail mode an
+// unterminated final line is buffered for a later retry instead of being
+// returned.
+func (d *Decoder) nextLine() ([]byte, error) {
+	for {
+		chunk, err := d.br.ReadBytes('\n')
+		if len(chunk) > 0 {
+			d.partial = append(d.partial, chunk...)
+		}
+		if err != nil {
+			if err == io.EOF && len(d.partial) > 0 && !d.tail {
+				// Complete stream with no final newline: take the tail line.
+				line := d.partial
+				d.partial = nil
+				d.line++
+				return line, nil
+			}
+			return nil, err // io.EOF (possibly with a buffered partial) or a read error
+		}
+		line := bytes.TrimSuffix(d.partial, []byte{'\n'})
+		d.partial = nil
+		d.line++
+		if len(bytes.TrimSpace(line)) > 0 {
+			return line, nil
+		}
+	}
+}
+
+// Next decodes and returns the next transaction of the stream. The first
+// call consumes the header line. Decode errors are *DecodeError values
+// and are terminal: every later call returns the same error.
+func (d *Decoder) Next() (*history.Txn, error) {
+	if d.sticky != nil {
+		return nil, d.sticky
+	}
+	t, err := d.next()
+	if err != nil && err != io.EOF {
+		d.sticky = err
+	}
+	return t, err
+}
+
+func (d *Decoder) next() (*history.Txn, error) {
+	if !d.gotHeader {
+		line, err := d.nextLine()
+		if err == io.EOF {
+			if d.tail {
+				return nil, io.EOF // header not yet written; poll again
+			}
+			return nil, &DecodeError{Line: d.line + 1, Record: HeaderRecord, Op: -1,
+				Err: io.ErrUnexpectedEOF}
+		}
+		if err != nil {
+			return nil, err
+		}
+		var hd header
+		if err := json.Unmarshal(line, &hd); err != nil {
+			return nil, &DecodeError{Line: d.line, Record: HeaderRecord, Op: -1, Err: err}
+		}
+		if hd.Viper != "history" || hd.Version != FormatVersion {
+			return nil, &DecodeError{Line: d.line, Record: HeaderRecord, Op: -1,
+				Err: fmt.Errorf("unsupported log format (viper=%q version=%d)", hd.Viper, hd.Version)}
+		}
+		d.declared = hd.Txns
+		d.gotHeader = true
+	}
+
+	line, err := d.nextLine()
+	if err == io.EOF {
+		if !d.tail && d.declared >= 0 && d.rec != d.declared {
+			return nil, &DecodeError{Line: d.line, Record: d.rec, Op: -1,
+				Err: fmt.Errorf("header declares %d txns, log has %d", d.declared, d.rec)}
+		}
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var rec txnRec
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return nil, &DecodeError{Line: d.line, Record: d.rec, Op: -1, Err: err}
+	}
+	t := &history.Txn{
+		Session:      rec.Session,
+		SeqInSession: rec.Seq,
+		BeginAt:      rec.Begin,
+		CommitAt:     rec.Commit,
+	}
+	if rec.Aborted {
+		t.Status = history.StatusAborted
+	}
+	for i, r := range rec.Ops {
+		op := history.Op{Key: history.Key(r.Key)}
+		switch r.Kind {
+		case "r":
+			op.Kind = history.OpRead
+			op.Observed = history.WriteID(r.Obs)
+			op.ObservedTombstone = r.Tomb
+		case "w":
+			op.Kind = history.OpWrite
+			op.WriteID = history.WriteID(r.WID)
+		case "i":
+			op.Kind = history.OpInsert
+			op.WriteID = history.WriteID(r.WID)
+		case "d":
+			op.Kind = history.OpDelete
+			op.WriteID = history.WriteID(r.WID)
+		case "q":
+			op.Kind = history.OpRange
+			op.Lo, op.Hi = history.Key(r.Lo), history.Key(r.Hi)
+			for _, v := range r.Res {
+				op.Result = append(op.Result, history.Version{
+					Key: history.Key(v.Key), WriteID: history.WriteID(v.WID), Tombstone: v.Tomb,
+				})
+			}
+		default:
+			return nil, &DecodeError{Line: d.line, Record: d.rec, Op: i, Kind: r.Kind,
+				Err: fmt.Errorf("unknown op kind")}
+		}
+		t.Ops = append(t.Ops, op)
+	}
+	d.rec++
+	return t, nil
+}

@@ -8,7 +8,6 @@ package histio
 import (
 	"bufio"
 	"encoding/json"
-	"fmt"
 	"io"
 	"os"
 
@@ -105,70 +104,20 @@ func Decode(r io.Reader) (*history.History, error) {
 }
 
 // decodeRaw parses without validating (session logs validate only after
-// merging).
+// merging). It is the materializing wrapper over the streaming Decoder.
 func decodeRaw(r io.Reader) (*history.History, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
-	dec := json.NewDecoder(br)
-	var hd header
-	if err := dec.Decode(&hd); err != nil {
-		return nil, fmt.Errorf("histio: reading header: %w", err)
-	}
-	if hd.Viper != "history" || hd.Version != FormatVersion {
-		return nil, fmt.Errorf("histio: unsupported log format (viper=%q version=%d)", hd.Viper, hd.Version)
-	}
+	d := NewDecoder(r)
 	h := history.New()
-	for i := 0; ; i++ {
-		var rec txnRec
-		if err := dec.Decode(&rec); err != nil {
-			if err == io.EOF {
-				break
-			}
-			return nil, fmt.Errorf("histio: record %d: %w", i, err)
+	for {
+		t, err := d.Next()
+		if err == io.EOF {
+			return h, nil
 		}
-		t := &history.Txn{
-			Session:      rec.Session,
-			SeqInSession: rec.Seq,
-			BeginAt:      rec.Begin,
-			CommitAt:     rec.Commit,
-		}
-		if rec.Aborted {
-			t.Status = history.StatusAborted
-		}
-		for _, r := range rec.Ops {
-			op := history.Op{Key: history.Key(r.Key)}
-			switch r.Kind {
-			case "r":
-				op.Kind = history.OpRead
-				op.Observed = history.WriteID(r.Obs)
-				op.ObservedTombstone = r.Tomb
-			case "w":
-				op.Kind = history.OpWrite
-				op.WriteID = history.WriteID(r.WID)
-			case "i":
-				op.Kind = history.OpInsert
-				op.WriteID = history.WriteID(r.WID)
-			case "d":
-				op.Kind = history.OpDelete
-				op.WriteID = history.WriteID(r.WID)
-			case "q":
-				op.Kind = history.OpRange
-				op.Lo, op.Hi = history.Key(r.Lo), history.Key(r.Hi)
-				for _, v := range r.Res {
-					op.Result = append(op.Result, history.Version{
-						Key: history.Key(v.Key), WriteID: history.WriteID(v.WID), Tombstone: v.Tomb,
-					})
-				}
-			default:
-				return nil, fmt.Errorf("histio: record %d: unknown op kind %q", i, r.Kind)
-			}
-			t.Ops = append(t.Ops, op)
+		if err != nil {
+			return nil, err
 		}
 		h.Append(t)
 	}
-	if hd.Txns >= 0 && h.Len() != hd.Txns {
-		return nil, fmt.Errorf("histio: header declares %d txns, log has %d", hd.Txns, h.Len())
-	}
-	return h, nil
 }
 
 // WriteFile encodes h to path.

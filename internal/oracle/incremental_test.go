@@ -1,0 +1,205 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"viper/internal/anomaly"
+	"viper/internal/core"
+	"viper/internal/history"
+	"viper/internal/runner"
+	"viper/internal/workload"
+)
+
+// prefixOf returns a fresh validated history holding the first k appended
+// transactions of h, or nil if that prefix does not validate (e.g. a read
+// observing a write that only arrives later — legal for the full history,
+// not for the prefix).
+func prefixOf(h *history.History, k int) *history.History {
+	p := history.New()
+	for _, t := range h.Txns[1 : 1+k] {
+		t2 := *t
+		p.Append(&t2)
+	}
+	if err := p.Validate(); err != nil {
+		return nil
+	}
+	return p
+}
+
+// checkCycleClosed verifies a rejection's counterexample: the KnownCycle
+// edges must chain head-to-tail and close.
+func checkCycleClosed(t *testing.T, rep *core.Report, ctx string) {
+	t.Helper()
+	cyc := rep.KnownCycle
+	if len(cyc) == 0 {
+		return
+	}
+	for i := range cyc {
+		next := cyc[(i+1)%len(cyc)]
+		if cyc[i].To != next.From {
+			t.Fatalf("%s: counterexample cycle not closed at edge %d: %+v", ctx, i, cyc)
+		}
+	}
+}
+
+// auditPrefixes drives one incremental session over h in batches of the
+// given size, and at every batch boundary compares the session's Audit
+// against a from-scratch CheckHistory on the same validated prefix.
+func auditPrefixes(t *testing.T, h *history.History, opts core.Options, batch int, ctx string) {
+	t.Helper()
+	inc := core.NewIncremental(opts)
+	n := h.Len()
+	for at := 0; at < n; {
+		hi := at + batch
+		if hi > n {
+			hi = n
+		}
+		for _, tx := range h.Txns[1+at : 1+hi] {
+			t2 := *tx
+			inc.Append(&t2)
+		}
+		at = hi
+
+		prefix := prefixOf(h, at)
+		if prefix == nil {
+			continue // prefix does not validate; the session must not audit
+		}
+		if err := inc.History().Validate(); err != nil {
+			t.Fatalf("%s k=%d: session history failed validation: %v", ctx, at, err)
+		}
+		got := inc.Audit()
+		want := core.CheckHistory(prefix, opts)
+		if got.Outcome != want.Outcome {
+			t.Fatalf("%s k=%d: incremental=%v batch=%v\nhistory: %v",
+				ctx, at, got.Outcome, want.Outcome, dump(prefix))
+		}
+		if got.Outcome == core.Accept && got.SelfCheckErr != nil {
+			t.Fatalf("%s k=%d: incremental witness self-check: %v", ctx, at, got.SelfCheckErr)
+		}
+		checkCycleClosed(t, got, ctx)
+	}
+}
+
+// incrementalCombos is the option matrix for the incremental differential:
+// the warm-solver path (AdyaSI / Serializability with default solving),
+// its ablation variants, parallel regeneration, the always-cold real-time
+// levels, and the solver-free ReadCommitted path.
+func incrementalCombos() []core.Options {
+	return []core.Options{
+		{Level: core.AdyaSI, SelfCheck: true},
+		{Level: core.AdyaSI, SelfCheck: true, DisableCombineWrites: true},
+		{Level: core.AdyaSI, SelfCheck: true, DisableCoalesce: true},
+		{Level: core.AdyaSI, SelfCheck: true, DisablePruning: true},
+		{Level: core.AdyaSI, SelfCheck: true, LazyTheory: true},
+		{Level: core.AdyaSI, SelfCheck: true, Parallelism: 4},
+		{Level: core.AdyaSI, SelfCheck: true, Portfolio: 4},
+		{Level: core.Serializability, SelfCheck: true},
+		{Level: core.GSI, SelfCheck: true},
+		{Level: core.StrongSessionSI, SelfCheck: true},
+		{Level: core.StrongSI, SelfCheck: true},
+		{Level: core.ReadCommitted},
+	}
+}
+
+// TestIncrementalMatchesBatchOnNamedHistories replays the canonical named
+// histories one transaction at a time through an incremental session, at
+// every level, asserting batch equivalence at each boundary.
+func TestIncrementalMatchesBatchOnNamedHistories(t *testing.T) {
+	mk := func(build func(b *history.Builder)) *history.History {
+		b := history.NewBuilder()
+		build(b)
+		return b.MustHistory()
+	}
+	named := []struct {
+		name string
+		h    *history.History
+	}{
+		{"figure2", mk(func(b *history.Builder) {
+			s1, s2, s3 := b.Session(), b.Session(), b.Session()
+			t1 := s1.Txn().Write("x").Commit()
+			s2.Txn().Write("x").Commit()
+			s3.Txn().ReadObserved("x", t1.WriteIDOf("x")).Commit()
+		})},
+		{"write-skew", mk(func(b *history.Builder) {
+			s1, s2 := b.Session(), b.Session()
+			s1.Txn().ReadGenesis("x").Write("y").Commit()
+			s2.Txn().ReadGenesis("y").Write("x").Commit()
+		})},
+		{"long-fork", mk(func(b *history.Builder) {
+			ss := []*history.SessionBuilder{b.Session(), b.Session(), b.Session(), b.Session(), b.Session()}
+			t1 := ss[0].Txn().Write("x").Write("y").Commit()
+			t2 := ss[1].Txn().ReadObserved("x", t1.WriteIDOf("x")).Write("x").Commit()
+			t3 := ss[2].Txn().ReadObserved("y", t1.WriteIDOf("y")).Write("y").Commit()
+			ss[3].Txn().ReadObserved("x", t2.WriteIDOf("x")).ReadObserved("y", t1.WriteIDOf("y")).Commit()
+			ss[4].Txn().ReadObserved("x", t1.WriteIDOf("x")).ReadObserved("y", t3.WriteIDOf("y")).Commit()
+		})},
+		{"lost-update", mk(func(b *history.Builder) {
+			s1, s2, s3 := b.Session(), b.Session(), b.Session()
+			t1 := s1.Txn().Write("x").Commit()
+			s2.Txn().ReadObserved("x", t1.WriteIDOf("x")).Write("x").Commit()
+			s3.Txn().ReadObserved("x", t1.WriteIDOf("x")).Write("x").Commit()
+		})},
+		{"read-skew", mk(func(b *history.Builder) {
+			s1, s2 := b.Session(), b.Session()
+			wy := history.WriteID(2)
+			s1.Txn().ReadGenesis("x").ReadObserved("y", wy).Commit()
+			s2.Txn().Write("x").Write("y").Commit()
+		})},
+	}
+	for _, tc := range named {
+		for _, opts := range incrementalCombos() {
+			auditPrefixes(t, tc.h, opts, 1, tc.name)
+		}
+	}
+}
+
+// TestIncrementalMatchesBatchOnFuzzCorpus runs the incremental-vs-batch
+// differential over the oracle fuzz corpus, with varying batch sizes so
+// audits land at different prefix boundaries.
+func TestIncrementalMatchesBatchOnFuzzCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	combos := incrementalCombos()
+	checked := 0
+	for iter := 0; iter < 250; iter++ {
+		h := randomTinyHistory(rng)
+		if h == nil {
+			continue
+		}
+		checked++
+		batch := 1 + iter%2
+		for _, opts := range combos {
+			auditPrefixes(t, h, opts, batch, "fuzz")
+		}
+	}
+	if checked < 120 {
+		t.Fatalf("only %d histories validated; generator too restrictive", checked)
+	}
+}
+
+// TestIncrementalMatchesBatchOnAnomalyStream audits a realistic growing
+// stream: a BlindW-RW run with every injectable anomaly planted in turn,
+// appended in batches, where the session must flip to Reject at the same
+// boundary as the batch checker and stay rejected afterwards.
+func TestIncrementalMatchesBatchOnAnomalyStream(t *testing.T) {
+	base, _, err := runner.Run(workload.NewBlindWRW(), runner.Config{Clients: 4, Txns: 60, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range anomaly.Kinds() {
+		h := anomaly.Inject(base, kind)
+		if h == nil {
+			continue
+		}
+		if err := h.Validate(); err != nil {
+			continue // some injections are validation-level violations
+		}
+		for _, opts := range []core.Options{
+			{Level: core.AdyaSI, SelfCheck: true},
+			{Level: core.AdyaSI, SelfCheck: true, Parallelism: 4},
+			{Level: core.Serializability, SelfCheck: true},
+		} {
+			auditPrefixes(t, h, opts, 7, "anomaly/"+kind.String())
+		}
+	}
+}

@@ -134,7 +134,10 @@ type Result struct {
 }
 
 // Check validates the history and decides whether it satisfies the
-// configured isolation level.
+// configured isolation level. It is equivalent to a single-audit Checker
+// session over the same transactions (and is implemented as one, through
+// core.CheckHistory); use Checker directly when the history grows over
+// time and will be audited repeatedly.
 func Check(h *History, opts Options) *Result {
 	start := time.Now()
 	if err := h.Validate(); err != nil {
