@@ -523,3 +523,41 @@ func BenchmarkIncrementalAudit(b *testing.B) {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batches)/1e6, "ms/audit")
 	})
 }
+
+// --- Observability overhead ---------------------------------------------
+
+// BenchmarkObsOverhead measures the cost of the observability layer in its
+// three states. "disabled" is the configuration every other benchmark runs
+// (nil Progress, nil Tracer — one pointer check per hook site) and must
+// stay within noise of the pre-obs baselines recorded in EXPERIMENTS.md;
+// "progress" adds a 1ms sampling callback (far denser than the 250ms
+// default, an upper bound); "traced" records the span tree.
+func BenchmarkObsOverhead(b *testing.B) {
+	h := benchHistory(b, "blindw-rw", workload.NewBlindWRW(), 1000, 24)
+	run := func(b *testing.B, opts core.Options) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			rep := core.CheckHistory(h, opts)
+			mustOutcome(b, rep.Outcome, core.Accept)
+		}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		run(b, core.Options{Level: core.AdyaSI})
+	})
+	b.Run("progress", func(b *testing.B) {
+		var ticks int
+		opts := core.Options{
+			Level:            core.AdyaSI,
+			ProgressInterval: time.Millisecond,
+			Progress:         func(ProgressSnapshot) { ticks++ },
+		}
+		run(b, opts)
+		b.ReportMetric(float64(ticks)/float64(b.N), "snapshots/op")
+	})
+	b.Run("traced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep := core.CheckHistory(h, core.Options{Level: core.AdyaSI, Tracer: NewTracer()})
+			mustOutcome(b, rep.Outcome, core.Accept)
+		}
+	})
+}

@@ -63,6 +63,14 @@ func (c *Checker) History() *History {
 	return h
 }
 
+// Progress returns the session's most recent progress snapshot: the final
+// counters of the last audit, or — while an audit with Options.Progress
+// configured runs — the latest solver sampling tick. Unlike every other
+// method, Progress is safe to call from any goroutine at any time,
+// including concurrently with Append and Audit; it reads one immutable
+// value behind an atomic pointer.
+func (c *Checker) Progress() ProgressSnapshot { return c.inc.Progress() }
+
 // Audit checks everything appended so far and returns the verdict, exactly
 // as Check would on the same transactions. The first audit does the full
 // batch work; later audits extend the previous state by the appended delta.

@@ -29,6 +29,7 @@ import (
 	"viper/internal/histio"
 	"viper/internal/history"
 	"viper/internal/jepsen"
+	"viper/internal/obs"
 	"viper/internal/ssg"
 	"viper/internal/viz"
 )
@@ -72,6 +73,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		every      = fs.Int("every", 1000, "with -follow: re-audit after this many new transactions")
 		interval   = fs.Duration("interval", time.Second, "with -follow: re-audit at least this often while new transactions arrive")
 		idleExit   = fs.Duration("idle-exit", 0, "with -follow: exit with the last verdict after this long without new data (0 = follow forever)")
+		reportJSON = fs.String("report-json", "", "write the versioned machine-readable report as JSON to this path (\"-\" = stdout, suppressing the human-readable output)")
+		traceOut   = fs.String("trace-out", "", "record phase-scoped spans and write the trace as JSON to this path (\"-\" = stdout)")
+		progress   = fs.Duration("progress", 0, "stream progress lines to stderr at this interval while checking (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -99,17 +103,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Parallelism:          *parallel,
 		Portfolio:            *portfolio,
 	}
+	if *reportJSON != "" || *traceOut != "" {
+		opts.Tracer = obs.NewTracer()
+	}
+	if *progress > 0 {
+		opts.ProgressInterval = *progress
+		opts.Progress = func(s obs.Snapshot) { fmt.Fprintln(stderr, s) }
+	}
+	// With the report on stdout, the human-readable output is suppressed so
+	// the stream stays parseable.
+	quiet := *reportJSON == "-"
 
 	if *follow {
-		return runFollow(fs.Arg(0), opts, *every, *interval, *idleExit, stdout, stderr)
+		return runFollow(fs.Arg(0), opts, *every, *interval, *idleExit,
+			*reportJSON, *traceOut, stdout, stderr)
 	}
 
 	start := time.Now()
+	parseReg := opts.Tracer.Start("parse")
 	h, err := loadHistory(fs.Arg(0))
+	parseReg.End()
 	if err != nil {
 		var verr *history.ValidationError
 		if errors.As(err, &verr) {
-			fmt.Fprintf(stdout, "reject (validation): %v\n", verr)
+			if !quiet {
+				fmt.Fprintf(stdout, "reject (validation): %v\n", verr)
+			}
+			doc := buildReportDoc(fs.Arg(0), nil, time.Since(start), nil, verr, opts, opts.Tracer)
+			emitObs(*reportJSON, *traceOut, doc, stdout, stderr)
 			return exitReject
 		}
 		fmt.Fprintf(stderr, "viper: %v\n", err)
@@ -119,20 +140,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	rep := core.CheckHistory(h, opts)
 
-	st := h.ComputeStats()
-	fmt.Fprintf(stdout, "%s: %d txns (%d aborted), %d sessions, level %s\n",
-		fs.Arg(0), st.Txns, st.Aborted, st.Sessions, level)
-	fmt.Fprintf(stdout, "verdict: %s\n", rep.Outcome)
-	construct := fmt.Sprintf("construct %.3fs", rep.Phases.Construct.Seconds())
-	if rep.ConstructWorkers > 1 {
-		construct += fmt.Sprintf(" (cpu %.3fs, %d workers)",
-			rep.Phases.ConstructCPU.Seconds(), rep.ConstructWorkers)
+	if !quiet {
+		st := h.ComputeStats()
+		fmt.Fprintf(stdout, "%s: %d txns (%d aborted), %d sessions, level %s\n",
+			fs.Arg(0), st.Txns, st.Aborted, st.Sessions, level)
+		fmt.Fprintf(stdout, "verdict: %s\n", rep.Outcome)
+		construct := fmt.Sprintf("construct %.3fs", rep.Phases.Construct.Seconds())
+		if rep.ConstructWorkers > 1 {
+			construct += fmt.Sprintf(" (cpu %.3fs, %d workers)",
+				rep.Phases.ConstructCPU.Seconds(), rep.ConstructWorkers)
+		}
+		fmt.Fprintf(stdout, "time: parse %.3fs, %s, encode %.3fs, solve %.3fs\n",
+			parse.Seconds(), construct,
+			rep.Phases.Encode.Seconds(), rep.Phases.Solve.Seconds())
 	}
-	fmt.Fprintf(stdout, "time: parse %.3fs, %s, encode %.3fs, solve %.3fs\n",
-		parse.Seconds(), construct,
-		rep.Phases.Encode.Seconds(), rep.Phases.Solve.Seconds())
 
-	if *verbose {
+	if *verbose && !quiet {
 		fmt.Fprintf(stdout, "polygraph: %d nodes, %d known edges, %d constraints\n",
 			rep.Nodes, rep.KnownEdges, rep.Constraints)
 		pg := core.Build(h, opts)
@@ -148,11 +171,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			rep.Solver.Propagations, rep.Solver.TheoryConfl)
 	}
 
-	if rep.Outcome == core.Reject {
+	if rep.Outcome == core.Reject && !quiet {
 		// When no cycle exists among the known edges alone, every write
 		// order fails deeper in the search; printCounterexample then shows
 		// best-effort evidence under the timestamp-plausible write order.
 		printCounterexample(stdout, h, rep, opts)
+	}
+
+	if *reportJSON != "" || *traceOut != "" {
+		doc := buildReportDoc(fs.Arg(0), h, parse, rep, nil, opts, opts.Tracer)
+		if !emitObs(*reportJSON, *traceOut, doc, stdout, stderr) {
+			return exitUsage
+		}
 	}
 
 	if *dotPath != "" {
@@ -190,7 +220,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // checked levels are prefix-closed) and exits immediately with the reject
 // code. With idleExit > 0, the process performs a final audit and exits
 // with its verdict after that long without new data.
-func runFollow(path string, opts core.Options, every int, interval, idleExit time.Duration, stdout, stderr io.Writer) int {
+func runFollow(path string, opts core.Options, every int, interval, idleExit time.Duration, reportJSON, traceOut string, stdout, stderr io.Writer) int {
 	if every < 1 {
 		every = 1
 	}
@@ -213,11 +243,28 @@ func runFollow(path string, opts core.Options, every int, interval, idleExit tim
 	pending := 0 // txns appended since the last audit
 	lastData := time.Now()
 	lastAudit := time.Now()
+	start := time.Now()
+
+	// On exit, write the last audit's report document if one was requested.
+	var lastRes *viper.Result
+	emitFinal := func() {
+		if reportJSON == "" && traceOut == "" {
+			return
+		}
+		var rep *core.Report
+		var violation error
+		if lastRes != nil {
+			rep, violation = lastRes.Report, lastRes.Violation
+		}
+		doc := buildReportDoc(path, c.History(), time.Since(start), rep, violation, opts, opts.Tracer)
+		emitObs(reportJSON, traceOut, doc, stdout, stderr)
+	}
 
 	audit := func() (int, bool) {
 		pending = 0
 		lastAudit = time.Now()
 		res := c.Audit()
+		lastRes = res
 		switch {
 		case res.Violation != nil:
 			// Transient in a live stream: keep following.
@@ -246,17 +293,20 @@ func runFollow(path string, opts core.Options, every int, interval, idleExit tim
 			lastData = time.Now()
 			if pending >= every {
 				if code, done := audit(); done {
+					emitFinal()
 					return code
 				}
 			}
 		case err == io.EOF:
 			if pending > 0 && time.Since(lastAudit) >= interval {
 				if code, done := audit(); done {
+					emitFinal()
 					return code
 				}
 			}
 			if idleExit > 0 && time.Since(lastData) >= idleExit {
 				code, _ := audit()
+				emitFinal()
 				return code
 			}
 			time.Sleep(poll)

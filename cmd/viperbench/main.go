@@ -18,6 +18,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strconv"
 	"strings"
 	"time"
@@ -41,9 +44,59 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed    = fs.Int64("seed", 1, "history generation seed")
 		trials  = fs.Int("trials", 3, "trials for experiments the paper repeats (fig13)")
 		par     = fs.Int("parallel", 0, "polygraph construction workers for viper (0 = GOMAXPROCS, 1 = serial)")
+		cpuProf = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+		memProf = fs.String("memprofile", "", "write a pprof heap profile (taken at exit) to this path")
+		execTr  = fs.String("trace", "", "write a Go execution trace of the run to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 3
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(stderr, "viperbench: %v\n", err)
+			return 3
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "viperbench: %v\n", err)
+			return 3
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *execTr != "" {
+		f, err := os.Create(*execTr)
+		if err != nil {
+			fmt.Fprintf(stderr, "viperbench: %v\n", err)
+			return 3
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "viperbench: %v\n", err)
+			return 3
+		}
+		defer func() {
+			trace.Stop()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(stderr, "viperbench: %v\n", err)
+				return
+			}
+			runtime.GC() // up-to-date allocation data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "viperbench: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	cfg := experiments.Config{

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -16,6 +18,28 @@ func TestRunSingleExperiment(t *testing.T) {
 	for _, want := range []string{"== fig15", "long-fork", "completed in"} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunWithProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	tr := filepath.Join(dir, "exec.trace")
+	var out, errb bytes.Buffer
+	code := run([]string{"-exp", "fig15", "-sizes", "40", "-clients", "4", "-timeout", "30s",
+		"-cpuprofile", cpu, "-memprofile", mem, "-trace", tr}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	for _, p := range []string{cpu, mem, tr} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
 		}
 	}
 }

@@ -31,6 +31,19 @@ type Graph struct {
 	fwd, bwd []int32
 
 	edgeTrail []Edge
+
+	// Reorder work counters (see Reorders); maintained unconditionally —
+	// two int adds per order repair, far below measurement noise.
+	reorders   int64
+	movedNodes int64
+}
+
+// Reorders reports the Pearce–Kelly order-maintenance work done so far:
+// how many affected-region reorders ran and the total nodes they moved.
+// This is the theory-side cost the solver's Stats cannot see, exposed for
+// progress sampling and reports.
+func (g *Graph) Reorders() (count, movedNodes int64) {
+	return g.reorders, g.movedNodes
 }
 
 // NewGraph returns a graph with n nodes and no edges.
@@ -169,6 +182,8 @@ func (g *Graph) discover(v, u int32) []int32 {
 	}
 
 	g.reorder(g.fwd, g.bwd)
+	g.reorders++
+	g.movedNodes += int64(len(g.fwd) + len(g.bwd))
 	for _, n := range g.fwd {
 		g.visited[n] = false
 	}

@@ -104,6 +104,10 @@ func (t *EdgeTheory) NumEdgeVars() int { return len(t.varOf) }
 // NumConstants returns the number of distinct constant edges inserted.
 func (t *EdgeTheory) NumConstants() int { return len(t.constSet) }
 
+// Reorders reports the underlying graph's order-maintenance work (see
+// Graph.Reorders).
+func (t *EdgeTheory) Reorders() (count, movedNodes int64) { return t.g.Reorders() }
+
 // Assign implements sat.Theory. A positive assignment of an edge variable
 // inserts the edge; if that closes a cycle the conflict clause "some edge
 // on the cycle must be false" is returned.

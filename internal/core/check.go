@@ -7,6 +7,7 @@ import (
 
 	"viper/internal/acyclic"
 	"viper/internal/history"
+	"viper/internal/obs"
 	"viper/internal/sat"
 )
 
@@ -104,6 +105,13 @@ type Report struct {
 	Phases PhaseTimings
 	Solver sat.Stats
 
+	// Reorders/ReorderedNodes count the Pearce–Kelly order repairs the
+	// acyclicity theory performed and the nodes they moved (the winning
+	// solver's, under a portfolio; cumulative across audits on a warm
+	// incremental session, like Solver).
+	Reorders       int64
+	ReorderedNodes int64
+
 	// KnownCycle, when non-nil, is a cycle already present in the known
 	// graph (a rejection that needs no solving), as diagnostic evidence.
 	KnownCycle []KnownEdge
@@ -118,6 +126,27 @@ type Report struct {
 	// would indicate a checker bug).
 	WitnessVerified bool
 	SelfCheckErr    error
+}
+
+// Snapshot renders the report's counters as a final ("done") progress
+// snapshot. Audit/Txns/ElapsedNS/HeapInUse are the caller's to stamp.
+func (rep *Report) Snapshot() obs.Snapshot {
+	return obs.Snapshot{
+		Phase:             "done",
+		Nodes:             rep.Nodes,
+		KnownEdges:        rep.KnownEdges,
+		Constraints:       rep.Constraints,
+		PrunedConstraints: rep.PrunedConstraints,
+		EdgeVars:          rep.EdgeVars,
+		Conflicts:         rep.Solver.Conflicts,
+		Decisions:         rep.Solver.Decisions,
+		Propagations:      rep.Solver.Propagations,
+		Learnts:           int64(rep.Solver.Learnts),
+		Restarts:          rep.Solver.Restarts,
+		TheoryConfl:       rep.Solver.TheoryConfl,
+		Reorders:          rep.Reorders,
+		ReorderedNodes:    rep.ReorderedNodes,
+	}
 }
 
 // selfCheck replays the witness if requested.
@@ -151,6 +180,7 @@ func CheckHistory(h *history.History, opts Options) *Report {
 // equivalently whether the history meets the level (Theorem 5) — using
 // MonoSAT-style solving with heuristic pruning and retry (§3.5).
 func CheckPolygraph(pg *Polygraph, opts Options) *Report {
+	checkStart := time.Now()
 	rep := &Report{
 		Level:       pg.Level,
 		Nodes:       int(pg.NumNodes),
@@ -203,7 +233,7 @@ func CheckPolygraph(pg *Polygraph, opts Options) *Report {
 		k = 0
 	}
 	for {
-		res := pg.attempt(opts, rep, pos, k, deadline)
+		res := pg.attempt(opts, rep, pos, k, deadline, checkStart)
 		switch res {
 		case sat.Sat:
 			rep.Outcome = Accept
@@ -229,7 +259,10 @@ func CheckPolygraph(pg *Polygraph, opts Options) *Report {
 
 // attempt runs one encode+solve round. k > 0 applies heuristic pruning at
 // stride k; k == 0 is exact.
-func (pg *Polygraph) attempt(opts Options, rep *Report, pos []int32, k int, deadline time.Time) sat.Result {
+func (pg *Polygraph) attempt(opts Options, rep *Report, pos []int32, k int, deadline time.Time, checkStart time.Time) sat.Result {
+	attReg := opts.Tracer.Start("attempt")
+	attReg.SetAttr("k", int64(k))
+	defer attReg.End()
 	encodeStart := time.Now()
 
 	var forced []Edge    // constraint sides resolved by pruning
@@ -275,12 +308,14 @@ func (pg *Polygraph) attempt(opts Options, rep *Report, pos []int32, k int, dead
 		n = 1
 	}
 	type solveOut struct {
-		res     sat.Result
-		witness []int32
-		stats   sat.Stats
-		vars    int
-		encode  time.Duration
-		solve   time.Duration
+		res      sat.Result
+		witness  []int32
+		stats    sat.Stats
+		vars     int
+		reorders int64
+		moved    int64
+		encode   time.Duration
+		solve    time.Duration
 	}
 	runOne := func(seed int64, race *portfolioRace) solveOut {
 		encStart := time.Now()
@@ -315,6 +350,39 @@ func (pg *Polygraph) attempt(opts Options, rep *Report, pos []int32, k int, dead
 			s.SetTheory(eager)
 			alloc = eager
 		}
+		// Solve-time progress sampling. Installed only outside a portfolio
+		// race: racing solvers' counters are not individually meaningful,
+		// and losers may outlive the attempt (their callbacks would fire
+		// after the winner's report is final). The hook runs synchronously
+		// on this solver's goroutine, so reading s.Stats and the theory's
+		// counters is race-free; everything else it reads was fixed before
+		// the solve began.
+		if opts.Progress != nil && race == nil {
+			pruned := rep.PrunedConstraints
+			s.SetProgress(opts.progressInterval(), func() {
+				snap := obs.Snapshot{
+					Phase:             "solve",
+					ElapsedNS:         int64(time.Since(checkStart)),
+					Nodes:             int(pg.NumNodes),
+					KnownEdges:        len(pg.Known),
+					Constraints:       len(pg.Cons),
+					PrunedConstraints: pruned,
+					EdgeVars:          s.NumVars(),
+					Conflicts:         s.Stats.Conflicts,
+					Decisions:         s.Stats.Decisions,
+					Propagations:      s.Stats.Propagations,
+					Learnts:           int64(s.Stats.Learnts),
+					Restarts:          s.Stats.Restarts,
+					TheoryConfl:       s.Stats.TheoryConfl,
+					HeapInUse:         obs.HeapInUse(),
+				}
+				if eager != nil {
+					snap.Reorders, snap.ReorderedNodes = eager.Reorders()
+				}
+				opts.Progress(snap)
+			})
+		}
+
 		// Edge variables start biased toward their schedule-consistent
 		// polarity: an edge running forward in ŝ is probably present, a
 		// backward one probably absent. Decisions then reproduce ŝ unless
@@ -370,6 +438,9 @@ func (pg *Polygraph) attempt(opts Options, rep *Report, pos []int32, k int, dead
 			res = s.Solve()
 		}
 		out := solveOut{res: res, stats: s.Stats, vars: s.NumVars(), encode: encDur}
+		if eager != nil {
+			out.reorders, out.moved = eager.Reorders()
+		}
 		if res == sat.Sat {
 			if eager != nil {
 				w := make([]int32, pg.NumNodes)
@@ -441,9 +512,13 @@ func (pg *Polygraph) attempt(opts Options, rep *Report, pos []int32, k int, dead
 	rep.Phases.Solve += win.solve
 	rep.Solver = win.stats
 	rep.EdgeVars = win.vars
+	rep.Reorders = win.reorders
+	rep.ReorderedNodes = win.moved
 	if win.witness != nil {
 		rep.WitnessPositions = win.witness
 	}
+	attReg.Child("encode", win.encode)
+	attReg.Child("solve", win.solve)
 	return win.res
 }
 

@@ -59,6 +59,7 @@ import (
 
 	"viper/internal/acyclic"
 	"viper/internal/history"
+	"viper/internal/obs"
 	"viper/internal/sat"
 )
 
@@ -150,6 +151,12 @@ type Incremental struct {
 	warm     *warmState
 	rejected *Report // cached graph rejection (levels are prefix-closed)
 	audits   int
+
+	// lastSnap is the most recently published progress snapshot. It is the
+	// one piece of session state other goroutines may read (Progress): an
+	// immutable value behind an atomic pointer, so a reader never shares
+	// mutable state with a running audit.
+	lastSnap atomic.Pointer[obs.Snapshot]
 }
 
 // NewIncremental returns an empty checking session. The zero history
@@ -167,6 +174,50 @@ func NewIncremental(opts Options) *Incremental {
 		chainSigs:   make(map[history.Key][][]history.TxnID),
 		pendingWarm: make(map[history.Key]bool),
 	}
+}
+
+// Progress returns the most recently published progress snapshot: the
+// final counters of the last audit, or — while an audit with a Progress
+// callback runs — the latest sampling tick. Unlike the rest of the
+// session, Progress is safe to call from any goroutine at any time. Before
+// the first audit it returns a zero snapshot with Phase "idle".
+func (inc *Incremental) Progress() obs.Snapshot {
+	if p := inc.lastSnap.Load(); p != nil {
+		return *p
+	}
+	return obs.Snapshot{Phase: "idle"}
+}
+
+// publish stamps the session coordinates onto a snapshot, stores it for
+// Progress readers, and forwards it to the configured callback. Heap usage
+// is only measured when a callback is configured (ReadMemStats briefly
+// stops the world; a bare boundary store should stay cheap).
+func (inc *Incremental) publish(snap obs.Snapshot) {
+	snap.Audit = inc.audits
+	snap.Txns = inc.h.Len()
+	if inc.opts.Progress != nil && snap.HeapInUse == 0 {
+		snap.HeapInUse = obs.HeapInUse()
+	}
+	inc.lastSnap.Store(&snap)
+	if inc.opts.Progress != nil {
+		inc.opts.Progress(snap)
+	}
+}
+
+// obsOpts returns the session options with the Progress callback wrapped
+// to stamp session coordinates and keep lastSnap current — the cold path
+// hands these to CheckPolygraph, whose sampler knows nothing about audits.
+func (inc *Incremental) obsOpts() Options {
+	o := inc.opts
+	if user := o.Progress; user != nil {
+		audit, txns := inc.audits, inc.h.Len()
+		o.Progress = func(s obs.Snapshot) {
+			s.Audit, s.Txns = audit, txns
+			inc.lastSnap.Store(&s)
+			user(s)
+		}
+	}
+	return o
 }
 
 // History returns the session's owned history.
@@ -205,11 +256,22 @@ func (inc *Incremental) Audit() *Report {
 	if inc.opts.Level == ReadCommitted {
 		return checkReadCommitted(inc.h)
 	}
+	auditReg := inc.opts.Tracer.Start("audit")
+	auditReg.SetAttr("audit", int64(inc.audits))
+	auditReg.SetAttr("txns", int64(inc.h.Len()))
+	defer auditReg.End()
+
 	constructStart := time.Now()
+	inc.publish(obs.Snapshot{Phase: "construct"})
+	conReg := inc.opts.Tracer.Start("construct")
 	inc.update()
 	regenWall, regenCPU, workers := inc.regen()
 
 	if inc.rejected != nil {
+		conReg.End()
+		final := inc.rejected.Snapshot()
+		final.ElapsedNS = int64(time.Since(constructStart))
+		inc.publish(final)
 		inc.audits++
 		return inc.rejected
 	}
@@ -220,6 +282,12 @@ func (inc *Incremental) Audit() *Report {
 			inc.warm = nil
 			inc.partitionChanged = false
 		}
+		// auditWarm books construction as ending at its entry; close the
+		// span to match. (End is idempotent: on a warm bailout the cold
+		// branch below runs with the construct span already closed, so its
+		// assemble work shows up in the audit span but no sub-span —
+		// bailouts are rare enough not to warrant a second region.)
+		conReg.End()
 		rep = inc.auditWarm(constructStart, regenWall, regenCPU, workers)
 	}
 	if rep == nil {
@@ -227,7 +295,8 @@ func (inc *Incremental) Audit() *Report {
 		// ordinary batch solve (pruning, portfolio, lazy theory all apply).
 		pg := inc.assemble()
 		construct := time.Since(constructStart)
-		rep = CheckPolygraph(pg, inc.opts)
+		conReg.End()
+		rep = CheckPolygraph(pg, inc.obsOpts())
 		rep.Phases.Construct = construct
 		rep.Phases.ConstructCPU = construct - regenWall + regenCPU
 		rep.ConstructWorkers = workers
@@ -235,6 +304,9 @@ func (inc *Incremental) Audit() *Report {
 	if rep.Outcome == Reject {
 		inc.rejected = rep
 	}
+	final := rep.Snapshot()
+	final.ElapsedNS = int64(time.Since(constructStart))
+	inc.publish(final)
 	inc.audits++
 	return rep
 }
@@ -523,6 +595,7 @@ func (inc *Incremental) auditWarm(constructStart time.Time, regenWall, regenCPU 
 	w := inc.warm
 
 	encodeStart := time.Now()
+	encReg := opts.Tracer.Start("encode")
 	w.s.Relax()
 	n := inc.numNodes()
 	w.th.Grow(int(n))
@@ -611,6 +684,7 @@ encode:
 				// Outside the warm invariants (chain-pair constraints never
 				// carry impossible sides); rebuild cold next time.
 				inc.warm = nil
+				encReg.End()
 				return nil
 			}
 			if len(op.first) == 0 || len(op.second) == 0 {
@@ -659,7 +733,9 @@ encode:
 	rep.Constraints = len(w.consList)
 	rep.EdgeVars = w.s.NumVars()
 	rep.Solver = w.s.Stats
+	rep.Reorders, rep.ReorderedNodes = w.th.Reorders()
 	rep.Phases.Encode = time.Since(encodeStart)
+	encReg.End()
 
 	if cyc != nil {
 		rep.Outcome = Reject
@@ -668,6 +744,7 @@ encode:
 	}
 
 	solveStart := time.Now()
+	solReg := opts.Tracer.Start("solve")
 	if opts.Timeout > 0 {
 		w.s.SetDeadline(time.Now().Add(opts.Timeout))
 	} else {
@@ -700,12 +777,48 @@ encode:
 			w.s.AddClause(sat.PosLit(st.sel), sideLit(st.second, i))
 		}
 	}
+	// Solve-time progress sampling against the persistent solver. The hook
+	// runs synchronously on this goroutine from inside SolveAssuming, so
+	// reading the solver, theory, and rep is race-free; it is reinstalled
+	// each audit to capture the current audit's epoch. (warmCapable already
+	// excludes portfolios, so unlike the batch path there is no race to
+	// suppress it for.)
+	if opts.Progress != nil {
+		w.s.SetProgress(opts.progressInterval(), func() {
+			snap := obs.Snapshot{
+				Phase:             "solve",
+				ElapsedNS:         int64(time.Since(constructStart)),
+				Nodes:             int(n),
+				KnownEdges:        w.th.NumConstants(),
+				Constraints:       len(w.consList),
+				PrunedConstraints: rep.PrunedConstraints,
+				EdgeVars:          w.s.NumVars(),
+				Conflicts:         w.s.Stats.Conflicts,
+				Decisions:         w.s.Stats.Decisions,
+				Propagations:      w.s.Stats.Propagations,
+				Learnts:           int64(w.s.Stats.Learnts),
+				Restarts:          w.s.Stats.Restarts,
+				TheoryConfl:       w.s.Stats.TheoryConfl,
+				HeapInUse:         obs.HeapInUse(),
+			}
+			snap.Reorders, snap.ReorderedNodes = w.th.Reorders()
+			inc.publish(snap)
+		})
+	}
+
 	k := opts.initialK()
 	if opts.DisablePruning {
 		k = 0
 	}
+	// The per-retry pruning pass below also *encodes* (encodeCons emits a
+	// constraint's clauses the first time the radius cannot force it), so
+	// its time belongs to the Encode phase — the batch path books its
+	// pruning pass there too. Accumulate it and subtract from Solve, or the
+	// warm decomposition drifts from the batch one.
+	var encodeExtra time.Duration
 	var res sat.Result
 	for {
+		passStart := time.Now()
 		assumps := w.assumpBuf[:0]
 		pruned := 0
 		if k > 0 {
@@ -759,6 +872,7 @@ encode:
 		w.assumpBuf = assumps
 		rep.FinalK = k
 		rep.PrunedConstraints = pruned
+		encodeExtra += time.Since(passStart)
 		res = w.s.SolveAssuming(assumps...)
 		if res == sat.Unsat && w.s.Okay() && len(assumps) > 0 {
 			// Unsatisfiable only under the pruning assumptions.
@@ -774,6 +888,7 @@ encode:
 	}
 	rep.Solver = w.s.Stats
 	rep.EdgeVars = w.s.NumVars()
+	rep.Reorders, rep.ReorderedNodes = w.th.Reorders()
 	switch res {
 	case sat.Sat:
 		rep.Outcome = Accept
@@ -788,6 +903,8 @@ encode:
 	default:
 		rep.Outcome = Timeout
 	}
-	rep.Phases.Solve = time.Since(solveStart)
+	rep.Phases.Encode += encodeExtra
+	rep.Phases.Solve = time.Since(solveStart) - encodeExtra
+	solReg.End()
 	return rep
 }

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"runtime"
 	"time"
+
+	"viper/internal/obs"
 )
 
 // Level selects the isolation level to check. The hierarchy (Crooks et
@@ -133,6 +135,25 @@ type Options struct {
 	// outcome in the report. A failed self-check would indicate a checker
 	// bug, never a property of the history.
 	SelfCheck bool
+
+	// Progress, when non-nil, receives point-in-time counter snapshots: at
+	// phase boundaries and, during solving, roughly every ProgressInterval
+	// (sampled synchronously on the solving goroutine, so the callback must
+	// be fast and must not call back into the checker). During a portfolio
+	// race (Portfolio > 1) solve-time sampling is suppressed — the racing
+	// solvers' counters are not meaningful individually — but boundary
+	// snapshots still arrive. Nil (the default) costs one pointer check.
+	Progress func(obs.Snapshot)
+
+	// ProgressInterval is the solve-time sampling cadence for Progress;
+	// 0 means the default (250ms).
+	ProgressInterval time.Duration
+
+	// Tracer, when non-nil, records phase-scoped spans (construct →
+	// attempt(encode solve), per-audit for incremental sessions) into an
+	// exportable trace. Nil (the default) costs one pointer check per
+	// phase boundary.
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions returns the recommended configuration for a level.
@@ -143,6 +164,14 @@ func (o *Options) initialK() int {
 		return o.InitialK
 	}
 	return 128
+}
+
+// progressInterval resolves ProgressInterval to a concrete cadence.
+func (o *Options) progressInterval() time.Duration {
+	if o.ProgressInterval > 0 {
+		return o.ProgressInterval
+	}
+	return 250 * time.Millisecond
 }
 
 // workers resolves Parallelism to a concrete construction worker count.

@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerNesting(t *testing.T) {
+	tr := NewTracer()
+	audit := tr.Start("audit")
+	construct := tr.Start("construct")
+	construct.End()
+	attempt := tr.Start("attempt")
+	attempt.SetAttr("k", 2)
+	attempt.Child("encode", time.Millisecond)
+	attempt.Child("solve", time.Millisecond)
+	attempt.End()
+	audit.End()
+
+	trace := tr.Trace()
+	want := "audit(construct attempt(encode solve))"
+	if got := trace.Structure(); got != want {
+		t.Fatalf("Structure() = %q, want %q", got, want)
+	}
+	att := trace.Spans[0].Children[1]
+	if att.Attrs["k"] != 2 {
+		t.Fatalf("attempt attrs = %v, want k=2", att.Attrs)
+	}
+	for _, s := range []*Span{trace.Spans[0], att} {
+		if s.DurNS < 0 {
+			t.Fatalf("span %s has negative duration %d", s.Name, s.DurNS)
+		}
+	}
+}
+
+func TestTracerNilIsInert(t *testing.T) {
+	var tr *Tracer
+	r := tr.Start("anything")
+	r.SetAttr("x", 1)
+	r.Child("child", time.Second)
+	r.End()
+	r.End()
+	if got := tr.Trace(); got != nil {
+		t.Fatalf("nil tracer Trace() = %v, want nil", got)
+	}
+}
+
+func TestRegionEndIdempotentAndClosesDescendants(t *testing.T) {
+	tr := NewTracer()
+	outer := tr.Start("outer")
+	inner := tr.Start("inner") // never explicitly ended
+	_ = inner
+	outer.End()
+	outer.End() // second End must be a no-op
+
+	trace := tr.Trace()
+	if got := trace.Structure(); got != "outer(inner)" {
+		t.Fatalf("Structure() = %q, want %q", got, "outer(inner)")
+	}
+	in := trace.Spans[0].Children[0]
+	if !in.ended {
+		t.Fatal("inner span not closed by ancestor End")
+	}
+	// Ending the inner region after its ancestor closed it must not corrupt
+	// the open stack or re-time the span.
+	dur := in.DurNS
+	inner.End()
+	if in.DurNS != dur {
+		t.Fatalf("descendant End re-timed span: %d -> %d", dur, in.DurNS)
+	}
+	next := tr.Start("next")
+	next.End()
+	if got := tr.Trace().Structure(); got != "outer(inner) next" {
+		t.Fatalf("Structure() after reuse = %q, want %q", got, "outer(inner) next")
+	}
+}
+
+func TestTraceMidCheckConcurrent(t *testing.T) {
+	tr := NewTracer()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Trace().Structure()
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		r := tr.Start("phase")
+		r.SetAttr("i", int64(i))
+		r.End()
+	}
+	close(stop)
+	wg.Wait()
+	if n := len(tr.Trace().Spans); n != 200 {
+		t.Fatalf("got %d root spans, want 200", n)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	r := tr.Start("check")
+	r.SetAttr("k", 3)
+	r.End()
+	doc := &ReportDoc{
+		Version: ReportVersion,
+		Tool:    "viper",
+		Level:   "si",
+		Outcome: "reject",
+		Host:    NewHost(),
+		History: HistoryInfo{Path: "/tmp/h.bin", Txns: 42, Sessions: 3},
+		Graph:   GraphInfo{Nodes: 43, KnownEdges: 100, Constraints: 7, EdgeVars: 14, FinalK: 2, ConstructWorkers: 1},
+		Phases:  PhaseInfo{ParseNS: 1, ConstructNS: 2, EncodeNS: 3, SolveNS: 4},
+		Solver:  SolverInfo{Vars: 14, Clauses: 30, Conflicts: 5, Decisions: 9, Reorders: 2, ReorderedNodes: 11},
+		KnownCycle: []CycleEdge{
+			{From: "c(T1)", To: "c(T2)", Kind: "wr", Key: "x"},
+			{From: "c(T2)", To: "c(T1)", Kind: "ww", Key: "x"},
+		},
+		WitnessVerified: true,
+		Final:           &Snapshot{Phase: "done", Txns: 42, Conflicts: 5, HeapInUse: 1 << 20},
+		Trace:           tr.Trace(),
+	}
+	var buf bytes.Buffer
+	if err := doc.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := DecodeReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("DecodeReport: %v", err)
+	}
+	// Spans carry an unexported bookkeeping flag that (correctly) does not
+	// survive JSON, so compare the canonical encodings rather than the
+	// structs directly.
+	var buf2 bytes.Buffer
+	if err := got.Encode(&buf2); err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("round trip mismatch:\n got %s\nwant %s", buf2.Bytes(), buf.Bytes())
+	}
+}
+
+func TestDecodeReportRejectsWrongVersion(t *testing.T) {
+	_, err := DecodeReport(strings.NewReader(`{"version": 999}`))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v, want version mismatch", err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	tr := NewTracer()
+	tr.Start("check").End()
+	doc := &ReportDoc{
+		Version: ReportVersion,
+		Host:    NewHost(),
+		History: HistoryInfo{Path: "/tmp/h.bin", Txns: 7},
+		Phases:  PhaseInfo{ParseNS: 5, SolveNS: 9},
+		Final:   &Snapshot{Phase: "done", ElapsedNS: 123, HeapInUse: 456, Conflicts: 3},
+		Trace:   tr.Trace(),
+	}
+	doc.Normalize()
+	if doc.Host != (HostInfo{}) || doc.History.Path != "" || doc.Phases != (PhaseInfo{}) {
+		t.Fatalf("host/path/phases not normalized: %+v", doc)
+	}
+	if doc.Final.ElapsedNS != 0 || doc.Final.HeapInUse != 0 {
+		t.Fatalf("final snapshot not normalized: %+v", doc.Final)
+	}
+	if doc.Final.Conflicts != 3 {
+		t.Fatal("Normalize must not touch counters")
+	}
+	if doc.Trace.DurNS != 0 || doc.Trace.Spans[0].DurNS != 0 || doc.Trace.Spans[0].StartNS != 0 {
+		t.Fatalf("trace not normalized: %+v", doc.Trace.Spans[0])
+	}
+	if doc.History.Txns != 7 {
+		t.Fatal("Normalize must not touch history counters")
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := Snapshot{Phase: "solve", Audit: 2, Txns: 100, Conflicts: 9}
+	str := s.String()
+	for _, want := range []string{"phase=solve", "audit=2", "txns=100", "conflicts=9"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("String() = %q, missing %q", str, want)
+		}
+	}
+}
+
+func TestTraceDump(t *testing.T) {
+	tr := NewTracer()
+	outer := tr.Start("outer")
+	outer.SetAttr("b", 2)
+	outer.SetAttr("a", 1)
+	inner := tr.Start("inner")
+	inner.End()
+	outer.End()
+	var b strings.Builder
+	tr.Trace().Dump(&b)
+	out := b.String()
+	if !strings.Contains(out, "outer") || !strings.Contains(out, "  inner") {
+		t.Fatalf("Dump output missing spans/indent:\n%s", out)
+	}
+	if !strings.Contains(out, "a=1 b=2") {
+		t.Fatalf("Dump attrs not sorted deterministically:\n%s", out)
+	}
+}

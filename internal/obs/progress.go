@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Snapshot is a point-in-time view of a running (or finished) check: which
+// phase it is in and the counters accumulated so far. Snapshots are plain
+// immutable values — the checker publishes a fresh one at every phase
+// boundary and sampling tick, so readers on other goroutines (a Checker's
+// Progress method, a CLI progress stream) never share mutable state with
+// the check itself.
+//
+// Counter semantics follow the Report fields they mirror: on a warm
+// incremental session the solver counters are cumulative across audits
+// (the solver lives across audits), while graph counts describe the
+// current audit.
+type Snapshot struct {
+	// Phase is the innermost phase at the time of the snapshot: one of
+	// "construct", "encode", "solve", or "done".
+	Phase string `json:"phase"`
+	// Audit is the session audit ordinal (0 for one-shot checks); Txns the
+	// appended transaction count.
+	Audit int `json:"audit"`
+	Txns  int `json:"txns"`
+	// ElapsedNS is the time since the enclosing check/audit began.
+	ElapsedNS int64 `json:"elapsed_ns"`
+
+	// Graph counters.
+	Nodes             int `json:"nodes"`
+	KnownEdges        int `json:"known_edges"`
+	Constraints       int `json:"constraints"`
+	PrunedConstraints int `json:"pruned_constraints"`
+	EdgeVars          int `json:"edge_vars"`
+
+	// Solver counters (sat.Stats).
+	Conflicts    int64 `json:"conflicts"`
+	Decisions    int64 `json:"decisions"`
+	Propagations int64 `json:"propagations"`
+	Learnts      int64 `json:"learnts"`
+	Restarts     int64 `json:"restarts"`
+	TheoryConfl  int64 `json:"theory_conflicts"`
+
+	// Acyclicity-theory counters: Pearce–Kelly order repairs performed and
+	// total nodes moved by them.
+	Reorders       int64 `json:"reorders"`
+	ReorderedNodes int64 `json:"reordered_nodes"`
+
+	// HeapInUse is the process's live heap at sampling time (bytes); zero
+	// when the snapshot was published on a boundary with sampling disabled
+	// (reading it stops the world briefly, so the disabled path skips it).
+	HeapInUse uint64 `json:"heap_in_use"`
+}
+
+// String renders the snapshot as a single machine-grepable progress line.
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"phase=%s audit=%d txns=%d elapsed=%.3fs conflicts=%d decisions=%d props=%d learnts=%d restarts=%d thconfl=%d reorders=%d pruned=%d edgevars=%d heap=%.1fMB",
+		s.Phase, s.Audit, s.Txns, float64(s.ElapsedNS)/1e9,
+		s.Conflicts, s.Decisions, s.Propagations, s.Learnts, s.Restarts,
+		s.TheoryConfl, s.Reorders, s.PrunedConstraints, s.EdgeVars,
+		float64(s.HeapInUse)/(1<<20))
+}
+
+// HeapInUse reads the live heap size. It is only called on sampling ticks
+// and enabled-path phase boundaries — never on the disabled fast path —
+// because ReadMemStats briefly stops the world.
+func HeapInUse() uint64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapInuse
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// ReportVersion is the schema version of ReportDoc. It is bumped on any
+// incompatible change to the document's structure or field semantics;
+// DecodeReport rejects documents from a different major schema so
+// downstream tooling fails loudly instead of misreading fields.
+const ReportVersion = 1
+
+// HostInfo describes the machine a report was produced on. Golden-report
+// tests normalize it away (see Normalize).
+type HostInfo struct {
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	CPUs      int    `json:"cpus"`
+}
+
+// NewHost captures the current host.
+func NewHost() HostInfo {
+	return HostInfo{
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+}
+
+// HistoryInfo summarizes the checked history.
+type HistoryInfo struct {
+	Path     string `json:"path,omitempty"`
+	Txns     int    `json:"txns"`
+	Aborted  int    `json:"aborted"`
+	Sessions int    `json:"sessions"`
+}
+
+// GraphInfo carries the polygraph and final-attempt counters of the
+// report (core.Report's graph-side fields, flattened for a stable JSON
+// shape independent of internal struct layout).
+type GraphInfo struct {
+	Nodes             int `json:"nodes"`
+	KnownEdges        int `json:"known_edges"`
+	Constraints       int `json:"constraints"`
+	EdgeVars          int `json:"edge_vars"`
+	PrunedConstraints int `json:"pruned_constraints"`
+	HeuristicEdges    int `json:"heuristic_edges"`
+	Retries           int `json:"retries"`
+	FinalK            int `json:"final_k"`
+	ConstructWorkers  int `json:"construct_workers"`
+}
+
+// PhaseInfo is the Figure 10 runtime decomposition in nanoseconds.
+type PhaseInfo struct {
+	ParseNS        int64 `json:"parse_ns"`
+	ConstructNS    int64 `json:"construct_ns"`
+	ConstructCPUNS int64 `json:"construct_cpu_ns"`
+	EncodeNS       int64 `json:"encode_ns"`
+	SolveNS        int64 `json:"solve_ns"`
+}
+
+// SolverInfo carries the SAT solver's counters (sat.Stats) plus the
+// acyclicity theory's reorder work.
+type SolverInfo struct {
+	Vars           int   `json:"vars"`
+	Clauses        int   `json:"clauses"`
+	Learnts        int   `json:"learnts"`
+	Conflicts      int64 `json:"conflicts"`
+	Decisions      int64 `json:"decisions"`
+	Propagations   int64 `json:"propagations"`
+	Restarts       int64 `json:"restarts"`
+	TheoryConfl    int64 `json:"theory_conflicts"`
+	Reorders       int64 `json:"reorders"`
+	ReorderedNodes int64 `json:"reordered_nodes"`
+}
+
+// CycleEdge is one edge of a counterexample cycle, with node names
+// rendered by the polygraph (e.g. "c(T3)") and edge provenance.
+type CycleEdge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Kind string `json:"kind"`
+	Key  string `json:"key,omitempty"`
+}
+
+// ReportDoc is the versioned machine-readable report the CLIs emit
+// (-report-json): verdict, history and graph statistics, the Figure 10
+// phase decomposition, solver counters, any counterexample, the final
+// progress snapshot, and — when tracing was enabled — the span tree.
+type ReportDoc struct {
+	Version int    `json:"version"`
+	Tool    string `json:"tool"`
+	Level   string `json:"level"`
+	Outcome string `json:"outcome"`
+
+	Host    HostInfo    `json:"host"`
+	History HistoryInfo `json:"history"`
+
+	// Violation is the validation-level rejection, if any; when set the
+	// graph/solver sections are absent (checking stopped before them).
+	Violation string `json:"violation,omitempty"`
+
+	Graph  GraphInfo  `json:"graph"`
+	Phases PhaseInfo  `json:"phases"`
+	Solver SolverInfo `json:"solver"`
+
+	KnownCycle      []CycleEdge `json:"known_cycle,omitempty"`
+	WitnessVerified bool        `json:"witness_verified,omitempty"`
+
+	Final *Snapshot `json:"final,omitempty"`
+	Trace *Trace    `json:"trace,omitempty"`
+}
+
+// Encode writes the document as indented JSON followed by a newline.
+func (d *ReportDoc) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// DecodeReport parses a document produced by Encode, verifying the schema
+// version.
+func DecodeReport(r io.Reader) (*ReportDoc, error) {
+	var d ReportDoc
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("obs: decoding report: %w", err)
+	}
+	if d.Version != ReportVersion {
+		return nil, fmt.Errorf("obs: report version %d, this tool reads %d", d.Version, ReportVersion)
+	}
+	return &d, nil
+}
+
+// Normalize zeroes every host- and timing-dependent field in place, so
+// two reports of the same check on different machines (or runs) compare
+// equal. This is the exact field list the golden-report tests rely on:
+// all durations, heap sizes, host identity, and file paths; counters and
+// verdicts are untouched.
+func (d *ReportDoc) Normalize() {
+	d.Host = HostInfo{}
+	d.History.Path = ""
+	d.Phases = PhaseInfo{}
+	if d.Final != nil {
+		d.Final.ElapsedNS = 0
+		d.Final.HeapInUse = 0
+	}
+	if d.Trace != nil {
+		d.Trace.DurNS = 0
+		var walk func([]*Span)
+		walk = func(spans []*Span) {
+			for _, s := range spans {
+				s.StartNS, s.DurNS = 0, 0
+				walk(s.Children)
+			}
+		}
+		walk(d.Trace.Spans)
+	}
+}

@@ -3,6 +3,7 @@ package oracle
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"viper/internal/anomaly"
 	"viper/internal/core"
@@ -43,12 +44,66 @@ func checkCycleClosed(t *testing.T, rep *core.Report, ctx string) {
 	}
 }
 
+// compareCounters holds the incremental report to batch-report parity
+// contract: the first audit is cold and must reproduce every batch counter
+// verbatim (it runs the identical pipeline); later audits may legitimately
+// differ in solver-side counters (the warm solver is cumulative, pruning
+// radii differ) but must still agree on the graph shape and never report a
+// negative phase duration. ReadCommitted bypasses the polygraph machinery
+// entirely and reports no counters.
+func compareCounters(t *testing.T, got, want *core.Report, firstAudit bool, ctx string, at int) {
+	t.Helper()
+	if got.Nodes != want.Nodes {
+		t.Fatalf("%s k=%d: incremental Nodes=%d batch=%d", ctx, at, got.Nodes, want.Nodes)
+	}
+	if firstAudit {
+		type counters struct {
+			knownEdges, constraints, edgeVars     int
+			pruned, heuristic, retries, finalK    int
+			conflicts, decisions, props, restarts int64
+			theoryConfl, reorders, moved          int64
+			vars, clauses, learnts                int
+		}
+		snap := func(r *core.Report) counters {
+			return counters{
+				knownEdges: r.KnownEdges, constraints: r.Constraints, edgeVars: r.EdgeVars,
+				pruned: r.PrunedConstraints, heuristic: r.HeuristicEdges,
+				retries: r.Retries, finalK: r.FinalK,
+				conflicts: r.Solver.Conflicts, decisions: r.Solver.Decisions,
+				props: r.Solver.Propagations, restarts: r.Solver.Restarts,
+				theoryConfl: r.Solver.TheoryConfl, reorders: r.Reorders, moved: r.ReorderedNodes,
+				vars: r.Solver.Vars, clauses: r.Solver.Clauses, learnts: r.Solver.Learnts,
+			}
+		}
+		g, w := snap(got), snap(want)
+		if g != w {
+			t.Fatalf("%s k=%d: first (cold) audit counters diverge from batch:\n inc:   %+v\n batch: %+v",
+				ctx, at, g, w)
+		}
+	}
+	for _, ph := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"Construct", got.Phases.Construct},
+		{"ConstructCPU", got.Phases.ConstructCPU},
+		{"Encode", got.Phases.Encode},
+		{"Solve", got.Phases.Solve},
+	} {
+		if ph.d < 0 {
+			t.Fatalf("%s k=%d: negative %s phase %v (attribution drift)", ctx, at, ph.name, ph.d)
+		}
+	}
+}
+
 // auditPrefixes drives one incremental session over h in batches of the
 // given size, and at every batch boundary compares the session's Audit
 // against a from-scratch CheckHistory on the same validated prefix.
 func auditPrefixes(t *testing.T, h *history.History, opts core.Options, batch int, ctx string) {
 	t.Helper()
 	inc := core.NewIncremental(opts)
+	firstAudit := true
+	rejected := false
 	n := h.Len()
 	for at := 0; at < n; {
 		hi := at + batch
@@ -73,6 +128,18 @@ func auditPrefixes(t *testing.T, h *history.History, opts core.Options, batch in
 		if got.Outcome != want.Outcome {
 			t.Fatalf("%s k=%d: incremental=%v batch=%v\nhistory: %v",
 				ctx, at, got.Outcome, want.Outcome, dump(prefix))
+		}
+		// Counter parity. Skipped for ReadCommitted (no polygraph, no
+		// counters), portfolios (the racing winner's counters are timing-
+		// dependent), and audits after a rejection (the session returns the
+		// cached rejecting report, whose counters describe the rejecting
+		// prefix, not the current one).
+		if opts.Level != core.ReadCommitted && opts.Portfolio <= 1 && !rejected {
+			compareCounters(t, got, want, firstAudit, ctx, at)
+		}
+		firstAudit = false
+		if got.Outcome == core.Reject {
+			rejected = true
 		}
 		if got.Outcome == core.Accept && got.SelfCheckErr != nil {
 			t.Fatalf("%s k=%d: incremental witness self-check: %v", ctx, at, got.SelfCheckErr)

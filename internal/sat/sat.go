@@ -169,6 +169,14 @@ type Solver struct {
 	confBudget int64
 	stop       atomic.Bool
 
+	// Progress sampling (SetProgress). The hook runs synchronously on the
+	// solving goroutine from inside search, so it may read Stats without
+	// synchronization; it must not call back into the solver.
+	progressFn   func()
+	progressGap  time.Duration
+	progressNext time.Time
+	progressCnt  uint32
+
 	rng      *rand.Rand
 	randFreq float64
 
@@ -191,6 +199,37 @@ func (s *Solver) SetDeadline(t time.Time) { s.deadline = t }
 // SetConflictBudget makes Solve return Unknown after n conflicts
 // (0 disables).
 func (s *Solver) SetConflictBudget(n int64) { s.confBudget = n }
+
+// SetProgress installs a sampling hook that search invokes roughly every
+// interval (at most; sampling is also counter-gated so an idle check costs
+// one int increment per search step). The hook runs synchronously on the
+// solving goroutine — it may read s.Stats freely but must not mutate the
+// solver. interval <= 0 selects a 250ms default; fn == nil uninstalls.
+func (s *Solver) SetProgress(interval time.Duration, fn func()) {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	s.progressFn = fn
+	s.progressGap = interval
+	s.progressNext = time.Now().Add(interval)
+	s.progressCnt = 0
+}
+
+// progressTick fires the progress hook if its interval elapsed. Callers
+// gate on s.progressFn != nil so the disabled path pays only that check;
+// here a counter gate keeps time.Now off the common path too.
+func (s *Solver) progressTick() {
+	s.progressCnt++
+	if s.progressCnt&127 != 0 {
+		return
+	}
+	now := time.Now()
+	if now.Before(s.progressNext) {
+		return
+	}
+	s.progressNext = now.Add(s.progressGap)
+	s.progressFn()
+}
 
 // SetRandomSeed enables randomized search: a small fraction of decisions
 // pick a random variable instead of the VSIDS best. Portfolio solving runs
@@ -620,6 +659,9 @@ func luby(i int64) int64 {
 func (s *Solver) search(maxConflicts int64) (Result, bool) {
 	var conflicts int64
 	for {
+		if s.progressFn != nil {
+			s.progressTick()
+		}
 		confl := s.propagate()
 		if confl == nil {
 			confl = s.theorySync()

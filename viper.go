@@ -42,6 +42,7 @@ import (
 	"viper/internal/core"
 	"viper/internal/histio"
 	"viper/internal/history"
+	"viper/internal/obs"
 	"viper/internal/runner"
 	"viper/internal/workload"
 )
@@ -90,6 +91,26 @@ type (
 	// Report carries the checker's detailed statistics and phase timings.
 	Report = core.Report
 )
+
+// Re-exported observability layer (see package obs): live progress
+// snapshots via Options.Progress / Checker.Progress, and phase-scoped
+// tracing via Options.Tracer.
+type (
+	// ProgressSnapshot is a point-in-time view of a running check's phase
+	// and counters.
+	ProgressSnapshot = obs.Snapshot
+	// Tracer records phase-scoped spans of a check; attach one via
+	// Options.Tracer and export with its Trace method.
+	Tracer = obs.Tracer
+	// Trace is an exportable span tree.
+	Trace = obs.Trace
+	// ReportDoc is the versioned machine-readable report document the CLIs
+	// emit with -report-json.
+	ReportDoc = obs.ReportDoc
+)
+
+// NewTracer returns a tracer whose epoch is now, for Options.Tracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
 
 // Isolation levels (the Crooks et al. hierarchy plus Serializability).
 const (

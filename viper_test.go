@@ -134,3 +134,68 @@ func TestStressLargeHistory(t *testing.T) {
 		t.Fatalf("SSSI outcome = %v", res2.Outcome)
 	}
 }
+
+// TestCheckerProgressConcurrent hammers Checker.Progress from a reader
+// goroutine while the owning goroutine appends and audits — the one
+// concurrency affordance Checker documents. Run under -race (the CI race
+// step does) this locks down that progress snapshots never share mutable
+// state with a running audit.
+func TestCheckerProgressConcurrent(t *testing.T) {
+	c := NewChecker(Options{Level: AdyaSI, Parallelism: 1,
+		Progress:         func(ProgressSnapshot) {},
+		ProgressInterval: time.Millisecond,
+	})
+	if got := c.Progress(); got.Phase != "idle" {
+		t.Fatalf("pre-audit phase %q, want idle", got.Phase)
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := c.Progress()
+				if s.Txns < 0 || s.Phase == "" {
+					panic("corrupt snapshot")
+				}
+			}
+		}
+	}()
+
+	b := NewHistoryBuilder()
+	sessions := []*SessionBuilder{b.Session(), b.Session(), b.Session(), b.Session()}
+	for i := 0; i < 40; i++ {
+		s := sessions[i%len(sessions)]
+		if i%2 == 0 {
+			s.Txn().Write(Key('a' + rune(i%7))).Commit()
+		} else {
+			s.Txn().Write(Key('a' + rune((i+3)%7))).Commit()
+		}
+	}
+	h := b.MustHistory()
+	txns := h.Txns[1:]
+	for i := 0; i < len(txns); i += 8 {
+		end := i + 8
+		if end > len(txns) {
+			end = len(txns)
+		}
+		c.Append(txns[i:end]...)
+		res := c.Audit()
+		if res.Outcome != Accept {
+			t.Fatalf("audit at %d: %v (violation %v)", i, res.Outcome, res.Violation)
+		}
+		snap := c.Progress()
+		if snap.Phase != "done" {
+			t.Fatalf("post-audit phase %q, want done", snap.Phase)
+		}
+		if snap.Txns != c.Len() {
+			t.Fatalf("snapshot txns %d, checker len %d", snap.Txns, c.Len())
+		}
+	}
+	close(stop)
+	<-done
+}
