@@ -1,6 +1,7 @@
 package viper
 
 import (
+	"context"
 	"time"
 
 	"viper/internal/core"
@@ -74,12 +75,21 @@ func (c *Checker) Progress() ProgressSnapshot { return c.inc.Progress() }
 // Audit checks everything appended so far and returns the verdict, exactly
 // as Check would on the same transactions. The first audit does the full
 // batch work; later audits extend the previous state by the appended delta.
-func (c *Checker) Audit() *Result {
+func (c *Checker) Audit() *Result { return c.AuditContext(context.Background()) }
+
+// AuditContext is Audit under a cancellation context: ctx's deadline
+// bounds the audit like Options.Timeout (whichever expires first), and
+// canceling ctx interrupts a running solve, returning Outcome Timeout
+// promptly. A canceled audit leaves the session consistent — later audits
+// simply retry the solve over the same accumulated state. This is how a
+// serving layer (viperd) maps request deadlines and client disconnects
+// onto long-running audits without leaking solver work.
+func (c *Checker) AuditContext(ctx context.Context) *Result {
 	start := time.Now()
 	if err := c.inc.History().Validate(); err != nil {
 		return &Result{Outcome: Reject, Violation: err, ParseTime: time.Since(start)}
 	}
 	parse := time.Since(start)
-	rep := c.inc.Audit()
+	rep := c.inc.AuditContext(ctx)
 	return &Result{Outcome: rep.Outcome, Report: rep, ParseTime: parse}
 }

@@ -31,6 +31,7 @@ import (
 	"viper/internal/jepsen"
 	"viper/internal/obs"
 	"viper/internal/ssg"
+	"viper/internal/version"
 	"viper/internal/viz"
 )
 
@@ -57,35 +58,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.PrintDefaults()
 	}
 	var (
-		levelFlag  = fs.String("level", "adya-si", "isolation level: adya-si | gsi | strong-session-si | strong-si | serializability | read-committed")
-		drift      = fs.Duration("drift", 0, "bounded clock drift between client collectors (for gsi / strong-si / strong-session-si)")
-		timeout    = fs.Duration("timeout", 0, "checking time budget (0 = unbounded)")
-		noPruning  = fs.Bool("no-pruning", false, "disable heuristic pruning (§3.5)")
-		noCombine  = fs.Bool("no-combine", false, "disable combining writes")
-		noCoalesce = fs.Bool("no-coalesce", false, "disable coalescing constraints")
-		initialK   = fs.Int("k", 0, "initial heuristic pruning distance (0 = default)")
-		lazy       = fs.Bool("lazy-theory", false, "use lazy (full-assignment) acyclicity checking")
-		parallel   = fs.Int("parallel", 0, "polygraph construction workers (0 = GOMAXPROCS, 1 = serial)")
-		portfolio  = fs.Int("portfolio", 0, "differently-seeded solver instances raced per attempt (<= 1 = single solver)")
-		verbose    = fs.Bool("v", false, "print detailed statistics")
-		dotPath    = fs.String("dot", "", "write the BC-polygraph (with any counterexample cycle highlighted) as Graphviz DOT to this path")
-		follow     = fs.Bool("follow", false, "tail the log as it grows, re-auditing incrementally and streaming verdicts")
-		every      = fs.Int("every", 1000, "with -follow: re-audit after this many new transactions")
-		interval   = fs.Duration("interval", time.Second, "with -follow: re-audit at least this often while new transactions arrive")
-		idleExit   = fs.Duration("idle-exit", 0, "with -follow: exit with the last verdict after this long without new data (0 = follow forever)")
-		reportJSON = fs.String("report-json", "", "write the versioned machine-readable report as JSON to this path (\"-\" = stdout, suppressing the human-readable output)")
-		traceOut   = fs.String("trace-out", "", "record phase-scoped spans and write the trace as JSON to this path (\"-\" = stdout)")
-		progress   = fs.Duration("progress", 0, "stream progress lines to stderr at this interval while checking (0 = off)")
+		levelFlag   = fs.String("level", "adya-si", "isolation level: adya-si | gsi | strong-session-si | strong-si | serializability | read-committed")
+		drift       = fs.Duration("drift", 0, "bounded clock drift between client collectors (for gsi / strong-si / strong-session-si)")
+		timeout     = fs.Duration("timeout", 0, "checking time budget (0 = unbounded)")
+		noPruning   = fs.Bool("no-pruning", false, "disable heuristic pruning (§3.5)")
+		noCombine   = fs.Bool("no-combine", false, "disable combining writes")
+		noCoalesce  = fs.Bool("no-coalesce", false, "disable coalescing constraints")
+		initialK    = fs.Int("k", 0, "initial heuristic pruning distance (0 = default)")
+		lazy        = fs.Bool("lazy-theory", false, "use lazy (full-assignment) acyclicity checking")
+		parallel    = fs.Int("parallel", 0, "polygraph construction workers (0 = GOMAXPROCS, 1 = serial)")
+		portfolio   = fs.Int("portfolio", 0, "differently-seeded solver instances raced per attempt (<= 1 = single solver)")
+		verbose     = fs.Bool("v", false, "print detailed statistics")
+		dotPath     = fs.String("dot", "", "write the BC-polygraph (with any counterexample cycle highlighted) as Graphviz DOT to this path")
+		follow      = fs.Bool("follow", false, "tail the log as it grows, re-auditing incrementally and streaming verdicts")
+		every       = fs.Int("every", 1000, "with -follow: re-audit after this many new transactions")
+		interval    = fs.Duration("interval", time.Second, "with -follow: re-audit at least this often while new transactions arrive")
+		idleExit    = fs.Duration("idle-exit", 0, "with -follow: exit with the last verdict after this long without new data (0 = follow forever)")
+		reportJSON  = fs.String("report-json", "", "write the versioned machine-readable report as JSON to this path (\"-\" = stdout, suppressing the human-readable output)")
+		traceOut    = fs.String("trace-out", "", "record phase-scoped spans and write the trace as JSON to this path (\"-\" = stdout)")
+		progress    = fs.Duration("progress", 0, "stream progress lines to stderr at this interval while checking (0 = off)")
+		serverURL   = fs.String("server", "", "check remotely against a running viperd at this base URL (e.g. http://127.0.0.1:7457) instead of locally")
+		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
+	}
+	if *showVersion {
+		fmt.Fprintf(stdout, "viper %s\n", version.Version)
+		return exitAccept
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
 		return exitUsage
 	}
 
-	level, ok := parseLevel(*levelFlag)
+	level, ok := core.ParseLevel(*levelFlag)
 	if !ok {
 		fmt.Fprintf(stderr, "viper: unknown level %q\n", *levelFlag)
 		return exitUsage
@@ -113,6 +120,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// With the report on stdout, the human-readable output is suppressed so
 	// the stream stays parseable.
 	quiet := *reportJSON == "-"
+
+	if *serverURL != "" {
+		if *follow {
+			fmt.Fprintln(stderr, "viper: -follow and -server are mutually exclusive")
+			return exitUsage
+		}
+		return runRemote(*serverURL, fs.Arg(0), opts, *levelFlag, *reportJSON, stdout, stderr)
+	}
 
 	if *follow {
 		return runFollow(fs.Arg(0), opts, *every, *interval, *idleExit,
@@ -305,6 +320,16 @@ func runFollow(path string, opts core.Options, every int, interval, idleExit tim
 				}
 			}
 			if idleExit > 0 && time.Since(lastData) >= idleExit {
+				// The stream is over as far as we are concerned: leave tail
+				// mode and drain, so a final record cut off mid-write or a
+				// header/record-count mismatch is reported with the same
+				// structured context viperd's ingest returns for the same
+				// broken stream, instead of being silently ignored.
+				dec.SetTail(false)
+				if derr := drainComplete(dec, c); derr != nil {
+					fmt.Fprintf(stderr, "viper: %v\n", derr)
+					return exitUsage
+				}
 				code, _ := audit()
 				emitFinal()
 				return code
@@ -314,6 +339,22 @@ func runFollow(path string, opts core.Options, every int, interval, idleExit tim
 			fmt.Fprintf(stderr, "viper: %v\n", err)
 			return exitUsage
 		}
+	}
+}
+
+// drainComplete consumes the decoder's remaining complete-stream records
+// into the checker. Called after SetTail(false): a buffered partial
+// final line and the header's declared-count check both surface here.
+func drainComplete(dec *histio.Decoder, c *viper.Checker) error {
+	for {
+		tx, err := dec.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		c.Append(tx)
 	}
 }
 
@@ -357,23 +398,4 @@ func loadHistory(path string) (*history.History, error) {
 		return jepsen.ParseFile(path)
 	}
 	return histio.ReadFile(path)
-}
-
-func parseLevel(s string) (core.Level, bool) {
-	switch s {
-	case "adya-si", "si":
-		return core.AdyaSI, true
-	case "gsi":
-		return core.GSI, true
-	case "strong-session-si", "sssi":
-		return core.StrongSessionSI, true
-	case "strong-si":
-		return core.StrongSI, true
-	case "serializability", "ser":
-		return core.Serializability, true
-	case "read-committed", "rc":
-		return core.ReadCommitted, true
-	default:
-		return 0, false
-	}
 }

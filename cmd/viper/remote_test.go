@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"viper/internal/anomaly"
+	"viper/internal/histio"
+	"viper/internal/history"
+	"viper/internal/obs"
+	"viper/internal/server"
+	"viper/internal/version"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	want := "viper " + version.Version + "\n"
+	if out.String() != want {
+		t.Fatalf("output %q, want %q", out.String(), want)
+	}
+}
+
+// startDaemon runs an in-process viperd for the CLI's remote mode.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	srv := server.New(server.Config{IdleTTL: -1})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		ts.Close()
+	})
+	return ts.URL
+}
+
+func TestRemoteCheckAccept(t *testing.T) {
+	url := startDaemon(t)
+	path := writeSample(t, nil)
+	var out, errb bytes.Buffer
+	code := run([]string{"-server", url, path}, &out, &errb)
+	if code != exitAccept {
+		t.Fatalf("exit %d, out %q, err %q", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "verdict: accept") || !strings.Contains(out.String(), url) {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestRemoteCheckRejectWithCounterexample(t *testing.T) {
+	url := startDaemon(t)
+	path := writeSample(t, func(h *history.History) {
+		anomaly.Inject(h, anomaly.ReadSkew)
+	})
+	var out, errb bytes.Buffer
+	code := run([]string{"-server", url, path}, &out, &errb)
+	if code != exitReject {
+		t.Fatalf("exit %d, out %q, err %q", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "counterexample cycle") {
+		t.Fatalf("no counterexample:\n%s", out.String())
+	}
+}
+
+func TestRemoteReportJSON(t *testing.T) {
+	url := startDaemon(t)
+	path := writeSample(t, nil)
+	var out, errb bytes.Buffer
+	code := run([]string{"-server", url, "-report-json", "-", path}, &out, &errb)
+	if code != exitAccept {
+		t.Fatalf("exit %d, err %q", code, errb.String())
+	}
+	doc, err := obs.DecodeReport(&out)
+	if err != nil {
+		t.Fatalf("report on stdout unparseable: %v", err)
+	}
+	if doc.Tool != "viperd" || doc.Outcome != "accept" {
+		t.Fatalf("doc = tool %q outcome %q", doc.Tool, doc.Outcome)
+	}
+}
+
+func TestRemoteFollowMutuallyExclusive(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-server", "http://x", "-follow", "h.jsonl"}, &out, &errb); code != exitUsage {
+		t.Fatalf("exit %d", code)
+	}
+}
+
+// localDecodeError decodes raw as a complete stream and returns the
+// error a local (non-tail) read reports — the reference string both the
+// remote 400 and the -follow idle-exit path must reproduce.
+func localDecodeError(t *testing.T, raw []byte) error {
+	t.Helper()
+	dec := histio.NewDecoder(bytes.NewReader(raw))
+	for {
+		_, err := dec.Next()
+		if err == io.EOF {
+			t.Fatal("reference stream decoded cleanly; test bug")
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// TestRemoteAndFollowReportIdenticalDecodeErrors is the satellite-6
+// parity check at the CLI level: one broken log, checked once through a
+// daemon and once through -follow's idle-exit drain, must produce the
+// same histio error text on both surfaces.
+func TestRemoteAndFollowReportIdenticalDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"mid-record EOF", func(b []byte) []byte { return b[:len(b)-7] }},
+		{"truncated final record", func(b []byte) []byte {
+			i := bytes.LastIndexByte(b[:len(b)-1], '\n')
+			return b[:i+1]
+		}},
+	}
+	url := startDaemon(t)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeSample(t, nil)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			broken := tc.mut(raw)
+			if err := os.WriteFile(path, broken, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			want := localDecodeError(t, broken).Error()
+
+			var rout, rerr bytes.Buffer
+			if code := run([]string{"-server", url, path}, &rout, &rerr); code != exitUsage {
+				t.Fatalf("remote exit %d, out %q", code, rout.String())
+			}
+			if !strings.Contains(rerr.String(), want) {
+				t.Fatalf("remote stderr %q missing %q", rerr.String(), want)
+			}
+
+			var fout, ferr bytes.Buffer
+			if code := run([]string{"-follow", "-idle-exit", "100ms", path}, &fout, &ferr); code != exitUsage {
+				t.Fatalf("follow exit %d, out %q err %q", code, fout.String(), ferr.String())
+			}
+			if !strings.Contains(ferr.String(), want) {
+				t.Fatalf("follow stderr %q missing %q", ferr.String(), want)
+			}
+		})
+	}
+}

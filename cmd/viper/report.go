@@ -1,6 +1,6 @@
-// Machine-readable report assembly for -report-json / -trace-out: maps
-// the checker's internal Report (plus history stats, any validation
-// violation, and the recorded trace) onto the versioned obs.ReportDoc.
+// Machine-readable report emission for -report-json / -trace-out. The
+// document itself is assembled by core.BuildReportDoc — shared with
+// viperd so both surfaces emit byte-identical reports for the same check.
 package main
 
 import (
@@ -19,76 +19,7 @@ import (
 // be nil (a history that failed to load or validate has no graph report);
 // violation is the validation-level rejection, if any.
 func buildReportDoc(path string, h *history.History, parse time.Duration, rep *core.Report, violation error, opts core.Options, tracer *obs.Tracer) *obs.ReportDoc {
-	doc := &obs.ReportDoc{
-		Version: obs.ReportVersion,
-		Tool:    "viper",
-		Level:   opts.Level.String(),
-		Host:    obs.NewHost(),
-		History: obs.HistoryInfo{Path: path},
-		Trace:   tracer.Trace(),
-	}
-	if h != nil {
-		st := h.ComputeStats()
-		doc.History.Txns = st.Txns
-		doc.History.Aborted = st.Aborted
-		doc.History.Sessions = st.Sessions
-	}
-	if violation != nil {
-		doc.Outcome = core.Reject.String()
-		doc.Violation = violation.Error()
-		doc.Phases.ParseNS = int64(parse)
-		return doc
-	}
-	if rep == nil {
-		return doc
-	}
-	doc.Outcome = rep.Outcome.String()
-	doc.Graph = obs.GraphInfo{
-		Nodes:             rep.Nodes,
-		KnownEdges:        rep.KnownEdges,
-		Constraints:       rep.Constraints,
-		EdgeVars:          rep.EdgeVars,
-		PrunedConstraints: rep.PrunedConstraints,
-		HeuristicEdges:    rep.HeuristicEdges,
-		Retries:           rep.Retries,
-		FinalK:            rep.FinalK,
-		ConstructWorkers:  rep.ConstructWorkers,
-	}
-	doc.Phases = obs.PhaseInfo{
-		ParseNS:        int64(parse),
-		ConstructNS:    int64(rep.Phases.Construct),
-		ConstructCPUNS: int64(rep.Phases.ConstructCPU),
-		EncodeNS:       int64(rep.Phases.Encode),
-		SolveNS:        int64(rep.Phases.Solve),
-	}
-	doc.Solver = obs.SolverInfo{
-		Vars:           rep.Solver.Vars,
-		Clauses:        rep.Solver.Clauses,
-		Learnts:        rep.Solver.Learnts,
-		Conflicts:      rep.Solver.Conflicts,
-		Decisions:      rep.Solver.Decisions,
-		Propagations:   rep.Solver.Propagations,
-		Restarts:       rep.Solver.Restarts,
-		TheoryConfl:    rep.Solver.TheoryConfl,
-		Reorders:       rep.Reorders,
-		ReorderedNodes: rep.ReorderedNodes,
-	}
-	doc.WitnessVerified = rep.WitnessVerified
-	if rep.KnownCycle != nil && h != nil {
-		pg := core.Build(h, opts)
-		for _, ke := range rep.KnownCycle {
-			doc.KnownCycle = append(doc.KnownCycle, obs.CycleEdge{
-				From: pg.NodeName(ke.From),
-				To:   pg.NodeName(ke.To),
-				Kind: ke.Kind.String(),
-				Key:  string(ke.Key),
-			})
-		}
-	}
-	final := rep.Snapshot()
-	final.Txns = doc.History.Txns
-	doc.Final = &final
-	return doc
+	return core.BuildReportDoc("viper", path, h, parse, rep, violation, opts, tracer)
 }
 
 // writeOut runs emit against the file at path, or stdout when path is "-".

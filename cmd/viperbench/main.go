@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"viper/internal/experiments"
+	"viper/internal/version"
 )
 
 func main() {
@@ -37,19 +38,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("viperbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp     = fs.String("exp", "all", "experiment: fig8 … fig15, or all")
-		sizes   = fs.String("sizes", "", "comma-separated history sizes overriding the experiment defaults")
-		clients = fs.Int("clients", 24, "client concurrency for history generation")
-		timeout = fs.Duration("timeout", 10*time.Second, "per-check time budget")
-		seed    = fs.Int64("seed", 1, "history generation seed")
-		trials  = fs.Int("trials", 3, "trials for experiments the paper repeats (fig13)")
-		par     = fs.Int("parallel", 0, "polygraph construction workers for viper (0 = GOMAXPROCS, 1 = serial)")
-		cpuProf = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
-		memProf = fs.String("memprofile", "", "write a pprof heap profile (taken at exit) to this path")
-		execTr  = fs.String("trace", "", "write a Go execution trace of the run to this path")
+		exp         = fs.String("exp", "all", "experiment: fig8 … fig15, or all")
+		sizes       = fs.String("sizes", "", "comma-separated history sizes overriding the experiment defaults")
+		clients     = fs.Int("clients", 24, "client concurrency for history generation")
+		timeout     = fs.Duration("timeout", 10*time.Second, "per-check time budget")
+		seed        = fs.Int64("seed", 1, "history generation seed")
+		trials      = fs.Int("trials", 3, "trials for experiments the paper repeats (fig13)")
+		par         = fs.Int("parallel", 0, "polygraph construction workers for viper (0 = GOMAXPROCS, 1 = serial)")
+		cpuProf     = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+		memProf     = fs.String("memprofile", "", "write a pprof heap profile (taken at exit) to this path")
+		execTr      = fs.String("trace", "", "write a Go execution trace of the run to this path")
+		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 3
+	}
+	if *showVersion {
+		fmt.Fprintf(stdout, "%s %s\n", "viperbench", version.Version)
+		return 0
 	}
 
 	if *cpuProf != "" {

@@ -1,0 +1,111 @@
+// Command viperd serves viper's snapshot-isolation checking as a
+// service: clients create sessions, stream history logs into them, and
+// request audits over HTTP (see internal/server for the API, and the
+// README's "Running viperd" walkthrough).
+//
+// Usage:
+//
+//	viperd [-addr 127.0.0.1:7457] [-max-sessions 64] [-max-session-ops N]
+//	       [-idle-ttl 15m] [-audit-timeout 60s] [-workers N] [-queue-depth N]
+//	       [-quiet]
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight audits
+// drain (bounded by -shutdown-grace), then the listener closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"viper/internal/server"
+	"viper/internal/version"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it serves until ctx is canceled, then
+// shuts down gracefully. Exit codes: 0 clean shutdown, 2 usage/startup
+// failure.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("viperd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr          = fs.String("addr", "127.0.0.1:7457", "listen address (host:port)")
+		maxSessions   = fs.Int("max-sessions", 0, "max live sessions (default 64)")
+		maxSessionOps = fs.Int("max-session-ops", 0, "per-session op quota (default 1048576)")
+		idleTTL       = fs.Duration("idle-ttl", 0, "evict sessions idle this long (default 15m, <0 disables)")
+		auditTimeout  = fs.Duration("audit-timeout", 0, "per-audit deadline (default 60s, <0 unbounded)")
+		workers       = fs.Int("workers", 0, "concurrent audit workers (default GOMAXPROCS)")
+		queueDepth    = fs.Int("queue-depth", 0, "audits allowed to queue before 429 (default 2*workers)")
+		shutdownGrace = fs.Duration("shutdown-grace", 30*time.Second, "max time to drain in-flight audits on shutdown")
+		quiet         = fs.Bool("quiet", false, "suppress per-request logging")
+		showVersion   = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *showVersion {
+		fmt.Fprintf(stdout, "viperd %s\n", version.Version)
+		return 0
+	}
+
+	logger := log.New(stderr, "viperd: ", log.LstdFlags)
+	cfg := server.Config{
+		MaxSessions:   *maxSessions,
+		MaxSessionOps: *maxSessionOps,
+		IdleTTL:       *idleTTL,
+		AuditTimeout:  *auditTimeout,
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		Logger:        logger,
+	}
+	if *quiet {
+		cfg.Logger = nil
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "viperd: listen: %v\n", err)
+		return 2
+	}
+	srv := server.New(cfg)
+	// Parseable by tests and scripts (the port may have been :0).
+	fmt.Fprintf(stdout, "viperd %s listening on http://%s\n", version.Version, l.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(stderr, "viperd: serve: %v\n", err)
+		return 2
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down (draining in-flight audits, grace %s)", *shutdownGrace)
+	sctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintf(stderr, "viperd: shutdown: %v\n", err)
+		return 2
+	}
+	if err := <-errc; err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(stderr, "viperd: serve: %v\n", err)
+		return 2
+	}
+	logger.Printf("shutdown complete")
+	return 0
+}

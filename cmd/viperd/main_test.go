@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"viper/internal/histgen"
+	"viper/internal/histio"
+	"viper/internal/server"
+	"viper/internal/version"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-version"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	want := "viperd " + version.Version + "\n"
+	if out.String() != want {
+		t.Fatalf("output %q, want %q", out.String(), want)
+	}
+}
+
+func TestBadFlagExits2(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+}
+
+// syncWriter serializes writes so the test can poll the daemon's stdout
+// from another goroutine.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://[^\s]+)`)
+
+// TestServeAndGracefulShutdown boots the daemon on an ephemeral port,
+// drives a session through the Go client, cancels the run context (the
+// SIGTERM path), and asserts a clean exit.
+func TestServeAndGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	stdout, stderr := &syncWriter{}, &syncWriter{}
+
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-quiet"}, stdout, stderr)
+	}()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address; stdout %q stderr %q", stdout.String(), stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cl := server.NewClient(base)
+	h, err := cl.Health(ctx)
+	if err != nil || h.Status != "ok" || h.Version != version.Version {
+		t.Fatalf("health = %+v, %v", h, err)
+	}
+
+	info, err := cl.CreateSession(ctx, server.SessionConfig{Level: "si"})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	var raw bytes.Buffer
+	if err := histio.Encode(&raw, histgen.SI(histgen.Spec{Txns: 30, Seed: 21})); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if _, err := cl.Append(ctx, info.ID, &raw, true); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	doc, err := cl.Audit(ctx, info.ID)
+	if err != nil || doc.Outcome != "accept" {
+		t.Fatalf("audit = %+v, %v", doc, err)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit %d, stderr %q", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not shut down; stderr %q", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "shutdown complete") {
+		t.Fatalf("no shutdown log; stderr %q", stderr.String())
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"viper/internal/jepsen"
 	"viper/internal/mvcc"
 	"viper/internal/runner"
+	"viper/internal/version"
 	"viper/internal/workload"
 )
 
@@ -37,20 +38,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vipergen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		bench    = fs.String("bench", "blindw-rw", "workload: blindw-rw | blindw-rm | range-b | range-rqh | range-idh | tpcc | rubis | twitter | append")
-		txns     = fs.Int("txns", 1000, "transactions to issue")
-		clients  = fs.Int("clients", 24, "concurrent clients")
-		seed     = fs.Int64("seed", 1, "workload seed")
-		out      = fs.String("o", "history.jsonl", "output path")
-		sessions = fs.Bool("session-logs", false, "write one log per session into the -o directory (the paper's collector layout) instead of a single file")
-		ednOut   = fs.Bool("edn", false, "write a Jepsen EDN rw-register log instead of JSON-lines (incompatible with range workloads)")
-		fault    = fs.String("fault", "none", "engine fault: none | fractured | lostupdate | visibleaborts")
-		lag      = fs.Int("lag", 0, "max snapshot lag in commits (still SI; breaks strong variants)")
-		drift    = fs.Duration("drift", 0, "max client clock drift to simulate")
-		anomName = fs.String("anomaly", "none", "inject after the run: none | g1c | long-fork | gsib | lost-update | aborted-read | future-read | read-skew")
+		bench       = fs.String("bench", "blindw-rw", "workload: blindw-rw | blindw-rm | range-b | range-rqh | range-idh | tpcc | rubis | twitter | append")
+		txns        = fs.Int("txns", 1000, "transactions to issue")
+		clients     = fs.Int("clients", 24, "concurrent clients")
+		seed        = fs.Int64("seed", 1, "workload seed")
+		out         = fs.String("o", "history.jsonl", "output path")
+		sessions    = fs.Bool("session-logs", false, "write one log per session into the -o directory (the paper's collector layout) instead of a single file")
+		ednOut      = fs.Bool("edn", false, "write a Jepsen EDN rw-register log instead of JSON-lines (incompatible with range workloads)")
+		fault       = fs.String("fault", "none", "engine fault: none | fractured | lostupdate | visibleaborts")
+		lag         = fs.Int("lag", 0, "max snapshot lag in commits (still SI; breaks strong variants)")
+		drift       = fs.Duration("drift", 0, "max client clock drift to simulate")
+		anomName    = fs.String("anomaly", "none", "inject after the run: none | g1c | long-fork | gsib | lost-update | aborted-read | future-read | read-skew")
+		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 3
+	}
+	if *showVersion {
+		fmt.Fprintf(stdout, "%s %s\n", "vipergen", version.Version)
+		return 0
 	}
 
 	gen, ok := pickBench(*bench)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -164,6 +165,14 @@ func (rep *Report) selfCheck(pg *Polygraph, opts Options) {
 // CheckHistory builds the BC-polygraph of a validated history and checks
 // it, populating construction timing (the CheckSI procedure of Figure 4).
 func CheckHistory(h *history.History, opts Options) *Report {
+	return CheckHistoryContext(context.Background(), h, opts)
+}
+
+// CheckHistoryContext is CheckHistory under a cancellation context: ctx's
+// deadline bounds checking exactly like Options.Timeout (whichever
+// expires first wins), and canceling ctx interrupts a running solve. A
+// check stopped by ctx reports Outcome Timeout.
+func CheckHistoryContext(ctx context.Context, h *history.History, opts Options) *Report {
 	if opts.Level == ReadCommitted {
 		return checkReadCommitted(h)
 	}
@@ -173,13 +182,51 @@ func CheckHistory(h *history.History, opts Options) *Report {
 	// monolithic pipeline.
 	inc := NewIncremental(opts)
 	inc.h = h
-	return inc.Audit()
+	return inc.AuditContext(ctx)
+}
+
+// solveDeadline merges the Options.Timeout budget with ctx's deadline:
+// the earlier of the two, or zero when neither applies.
+func solveDeadline(ctx context.Context, opts Options) time.Time {
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+	if cd, ok := ctx.Deadline(); ok && (deadline.IsZero() || cd.Before(deadline)) {
+		deadline = cd
+	}
+	return deadline
+}
+
+// watchCancel interrupts s the moment ctx is canceled, turning a context
+// cancellation into the solver's cooperative stop. The returned release
+// function retires the watcher; callers pair it with exactly one solve.
+// A context that can never be canceled installs nothing.
+func watchCancel(ctx context.Context, s *sat.Solver) (release func()) {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.Interrupt()
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
 }
 
 // CheckPolygraph decides whether the polygraph is acyclic (Definition 3) —
 // equivalently whether the history meets the level (Theorem 5) — using
 // MonoSAT-style solving with heuristic pruning and retry (§3.5).
 func CheckPolygraph(pg *Polygraph, opts Options) *Report {
+	return CheckPolygraphContext(context.Background(), pg, opts)
+}
+
+// CheckPolygraphContext is CheckPolygraph under a cancellation context
+// (see CheckHistoryContext for the contract).
+func CheckPolygraphContext(ctx context.Context, pg *Polygraph, opts Options) *Report {
 	checkStart := time.Now()
 	rep := &Report{
 		Level:       pg.Level,
@@ -187,10 +234,7 @@ func CheckPolygraph(pg *Polygraph, opts Options) *Report {
 		KnownEdges:  len(pg.Known),
 		Constraints: len(pg.Cons),
 	}
-	var deadline time.Time
-	if opts.Timeout > 0 {
-		deadline = time.Now().Add(opts.Timeout)
-	}
+	deadline := solveDeadline(ctx, opts)
 
 	if pg.Contradiction {
 		rep.Outcome = Reject
@@ -233,7 +277,11 @@ func CheckPolygraph(pg *Polygraph, opts Options) *Report {
 		k = 0
 	}
 	for {
-		res := pg.attempt(opts, rep, pos, k, deadline, checkStart)
+		if ctx.Err() != nil {
+			rep.Outcome = Timeout
+			return rep
+		}
+		res := pg.attempt(ctx, opts, rep, pos, k, deadline, checkStart)
 		switch res {
 		case sat.Sat:
 			rep.Outcome = Accept
@@ -258,8 +306,9 @@ func CheckPolygraph(pg *Polygraph, opts Options) *Report {
 }
 
 // attempt runs one encode+solve round. k > 0 applies heuristic pruning at
-// stride k; k == 0 is exact.
-func (pg *Polygraph) attempt(opts Options, rep *Report, pos []int32, k int, deadline time.Time, checkStart time.Time) sat.Result {
+// stride k; k == 0 is exact. Canceling ctx interrupts the attempt's
+// solver(s); the attempt then reports Unknown.
+func (pg *Polygraph) attempt(ctx context.Context, opts Options, rep *Report, pos []int32, k int, deadline time.Time, checkStart time.Time) sat.Result {
 	attReg := opts.Tracer.Start("attempt")
 	attReg.SetAttr("k", int64(k))
 	defer attReg.End()
@@ -320,6 +369,7 @@ func (pg *Polygraph) attempt(opts Options, rep *Report, pos []int32, k int, dead
 	runOne := func(seed int64, race *portfolioRace) solveOut {
 		encStart := time.Now()
 		s := sat.New()
+		defer watchCancel(ctx, s)()
 		if !deadline.IsZero() {
 			s.SetDeadline(deadline)
 		}

@@ -52,6 +52,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -252,7 +253,16 @@ func (inc *Incremental) warmCapable() bool {
 // Audit checks the full current history, reusing state from prior audits.
 // The history must have been validated (history.Validate) since the last
 // append. The verdict always equals CheckHistory on an identical history.
-func (inc *Incremental) Audit() *Report {
+func (inc *Incremental) Audit() *Report { return inc.AuditContext(context.Background()) }
+
+// AuditContext is Audit under a cancellation context: ctx's deadline
+// bounds the audit like Options.Timeout (whichever expires first), and
+// canceling ctx interrupts a running solve — the audit then returns
+// Outcome Timeout promptly instead of running to completion. A canceled
+// audit leaves the session consistent: the construction state keeps the
+// delta it absorbed, the warm solver (if any) stays sound (interruption
+// never unlearns clauses), and a later audit simply retries the solve.
+func (inc *Incremental) AuditContext(ctx context.Context) *Report {
 	if inc.opts.Level == ReadCommitted {
 		return checkReadCommitted(inc.h)
 	}
@@ -288,7 +298,7 @@ func (inc *Incremental) Audit() *Report {
 		// assemble work shows up in the audit span but no sub-span —
 		// bailouts are rare enough not to warrant a second region.)
 		conReg.End()
-		rep = inc.auditWarm(constructStart, regenWall, regenCPU, workers)
+		rep = inc.auditWarm(ctx, constructStart, regenWall, regenCPU, workers)
 	}
 	if rep == nil {
 		// Cold path: assemble the record store into a Polygraph and run the
@@ -296,12 +306,15 @@ func (inc *Incremental) Audit() *Report {
 		pg := inc.assemble()
 		construct := time.Since(constructStart)
 		conReg.End()
-		rep = CheckPolygraph(pg, inc.obsOpts())
+		rep = CheckPolygraphContext(ctx, pg, inc.obsOpts())
 		rep.Phases.Construct = construct
 		rep.Phases.ConstructCPU = construct - regenWall + regenCPU
 		rep.ConstructWorkers = workers
 	}
 	if rep.Outcome == Reject {
+		// A rejection reached under a live context is a real verdict (the
+		// solver only answers Unsat from a completed refutation), so caching
+		// it stays sound even for audits that were later canceled.
 		inc.rejected = rep
 	}
 	final := rep.Snapshot()
@@ -576,7 +589,7 @@ func cycleEvidence(path []int32, closing KnownEdge, kinds map[Edge]KnownEdge) []
 // what changed since the last encode (everything, after a rebuild). It
 // returns nil if it encountered a record outside the warm invariants —
 // the caller then falls back to the cold path for this audit.
-func (inc *Incremental) auditWarm(constructStart time.Time, regenWall, regenCPU time.Duration, workers int) *Report {
+func (inc *Incremental) auditWarm(ctx context.Context, constructStart time.Time, regenWall, regenCPU time.Duration, workers int) *Report {
 	opts := &inc.opts
 	h := inc.h
 	construct := time.Since(constructStart)
@@ -745,11 +758,11 @@ encode:
 
 	solveStart := time.Now()
 	solReg := opts.Tracer.Start("solve")
-	if opts.Timeout > 0 {
-		w.s.SetDeadline(time.Now().Add(opts.Timeout))
-	} else {
-		w.s.SetDeadline(time.Time{})
-	}
+	w.s.SetDeadline(solveDeadline(ctx, *opts))
+	// The solver is persistent: re-arm it (an interrupt that canceled a
+	// previous audit must not stop this one) and watch this audit's context.
+	w.s.ClearInterrupt()
+	defer watchCancel(ctx, w.s)()
 
 	// The warm analog of the batch path's §3.5 pruning. Constraints whose
 	// sides the maintained topological order (standing in for the timestamp
@@ -818,6 +831,10 @@ encode:
 	var encodeExtra time.Duration
 	var res sat.Result
 	for {
+		if ctx.Err() != nil {
+			res = sat.Unknown
+			break
+		}
 		passStart := time.Now()
 		assumps := w.assumpBuf[:0]
 		pruned := 0

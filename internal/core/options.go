@@ -66,6 +66,29 @@ func (l Level) String() string {
 	}
 }
 
+// ParseLevel maps a level's textual name (as printed by String, plus the
+// common short aliases) back to the Level. It is the one parser every
+// surface shares — CLI flags, the daemon's session-creation requests —
+// so the accepted spellings never drift apart.
+func ParseLevel(s string) (Level, bool) {
+	switch s {
+	case "adya-si", "si":
+		return AdyaSI, true
+	case "gsi":
+		return GSI, true
+	case "strong-session-si", "sssi":
+		return StrongSessionSI, true
+	case "strong-si":
+		return StrongSI, true
+	case "serializability", "ser":
+		return Serializability, true
+	case "read-committed", "rc":
+		return ReadCommitted, true
+	default:
+		return 0, false
+	}
+}
+
 // needsRealTime reports whether the level adds real-time edges.
 func (l Level) needsRealTime() bool {
 	return l == GSI || l == StrongSessionSI || l == StrongSI

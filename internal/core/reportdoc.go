@@ -1,0 +1,95 @@
+// Report-document assembly: maps a check's internal Report (plus history
+// statistics, any validation violation, and a recorded trace) onto the
+// versioned, exportable obs.ReportDoc. This lives in core — not in the
+// CLIs — because every surface that emits reports (cmd/viper's
+// -report-json, viperd's audit responses) must produce byte-identical
+// documents for the same check; the daemon's end-to-end tests compare
+// its responses against offline checks through this one function.
+package core
+
+import (
+	"time"
+
+	"viper/internal/history"
+	"viper/internal/obs"
+	"viper/internal/version"
+)
+
+// BuildReportDoc assembles the exportable report document for one check.
+// tool names the emitting surface ("viper", "viperd"); path is the
+// history's origin (empty for streamed histories). h and rep may be nil
+// (a history that failed to load or validate has no graph report);
+// violation is the validation-level rejection, if any.
+func BuildReportDoc(tool, path string, h *history.History, parse time.Duration, rep *Report, violation error, opts Options, tracer *obs.Tracer) *obs.ReportDoc {
+	doc := &obs.ReportDoc{
+		Version:     obs.ReportVersion,
+		Tool:        tool,
+		ToolVersion: version.Version,
+		Level:       opts.Level.String(),
+		Host:        obs.NewHost(),
+		History:     obs.HistoryInfo{Path: path},
+		Trace:       tracer.Trace(),
+	}
+	if h != nil {
+		st := h.ComputeStats()
+		doc.History.Txns = st.Txns
+		doc.History.Aborted = st.Aborted
+		doc.History.Sessions = st.Sessions
+	}
+	if violation != nil {
+		doc.Outcome = Reject.String()
+		doc.Violation = violation.Error()
+		doc.Phases.ParseNS = int64(parse)
+		return doc
+	}
+	if rep == nil {
+		return doc
+	}
+	doc.Outcome = rep.Outcome.String()
+	doc.Graph = obs.GraphInfo{
+		Nodes:             rep.Nodes,
+		KnownEdges:        rep.KnownEdges,
+		Constraints:       rep.Constraints,
+		EdgeVars:          rep.EdgeVars,
+		PrunedConstraints: rep.PrunedConstraints,
+		HeuristicEdges:    rep.HeuristicEdges,
+		Retries:           rep.Retries,
+		FinalK:            rep.FinalK,
+		ConstructWorkers:  rep.ConstructWorkers,
+	}
+	doc.Phases = obs.PhaseInfo{
+		ParseNS:        int64(parse),
+		ConstructNS:    int64(rep.Phases.Construct),
+		ConstructCPUNS: int64(rep.Phases.ConstructCPU),
+		EncodeNS:       int64(rep.Phases.Encode),
+		SolveNS:        int64(rep.Phases.Solve),
+	}
+	doc.Solver = obs.SolverInfo{
+		Vars:           rep.Solver.Vars,
+		Clauses:        rep.Solver.Clauses,
+		Learnts:        rep.Solver.Learnts,
+		Conflicts:      rep.Solver.Conflicts,
+		Decisions:      rep.Solver.Decisions,
+		Propagations:   rep.Solver.Propagations,
+		Restarts:       rep.Solver.Restarts,
+		TheoryConfl:    rep.Solver.TheoryConfl,
+		Reorders:       rep.Reorders,
+		ReorderedNodes: rep.ReorderedNodes,
+	}
+	doc.WitnessVerified = rep.WitnessVerified
+	if rep.KnownCycle != nil && h != nil {
+		pg := Build(h, opts)
+		for _, ke := range rep.KnownCycle {
+			doc.KnownCycle = append(doc.KnownCycle, obs.CycleEdge{
+				From: pg.NodeName(ke.From),
+				To:   pg.NodeName(ke.To),
+				Kind: ke.Kind.String(),
+				Key:  string(ke.Key),
+			})
+		}
+	}
+	final := rep.Snapshot()
+	final.Txns = doc.History.Txns
+	doc.Final = &final
+	return doc
+}

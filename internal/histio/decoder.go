@@ -25,16 +25,12 @@ type DecodeError struct {
 // HeaderRecord is the DecodeError.Record value for header-line failures.
 const HeaderRecord = -1
 
-func (e *DecodeError) Error() string {
-	switch {
-	case e.Record == HeaderRecord:
-		return fmt.Sprintf("histio: line %d: header: %v", e.Line, e.Err)
-	case e.Op >= 0:
-		return fmt.Sprintf("histio: line %d: record %d: op %d (kind %q): %v",
-			e.Line, e.Record, e.Op, e.Kind, e.Err)
-	default:
-		return fmt.Sprintf("histio: line %d: record %d: %v", e.Line, e.Record, e.Err)
-	}
+func (e *DecodeError) Error() string { return e.Detail().String() }
+
+// Detail renders the error as its structured, surface-independent form
+// (see ErrorDetail).
+func (e *DecodeError) Detail() ErrorDetail {
+	return ErrorDetail{Line: e.Line, Record: e.Record, Op: e.Op, Kind: e.Kind, Reason: e.Err.Error()}
 }
 
 func (e *DecodeError) Unwrap() error { return e.Err }

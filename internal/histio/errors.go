@@ -1,0 +1,54 @@
+package histio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrorDetail is the structured, surface-independent rendering of a
+// stream decode failure: where it happened (line, record, op) and why.
+// It is the one error-reporting shape every ingest surface shares —
+// cmd/viper prints String() and viperd embeds the struct in its 400
+// response bodies — so one malformed stream produces identical context
+// whether it was checked from a file, tailed with -follow, or streamed
+// to the daemon.
+type ErrorDetail struct {
+	// Line is the 1-based stream line of the failure.
+	Line int `json:"line"`
+	// Record is the 0-based transaction record index, or HeaderRecord (-1)
+	// for header-line failures.
+	Record int `json:"record"`
+	// Op is the 0-based op index within the record when the failure is
+	// inside a specific operation, -1 otherwise.
+	Op int `json:"op"`
+	// Kind is the op's kind ("r", "w", "q", ...) when Op >= 0.
+	Kind string `json:"kind,omitempty"`
+	// Reason is the underlying cause.
+	Reason string `json:"reason"`
+}
+
+// String renders the detail exactly as DecodeError.Error does (that
+// method delegates here), keeping CLI output and server responses
+// literally identical.
+func (d ErrorDetail) String() string {
+	switch {
+	case d.Record == HeaderRecord:
+		return fmt.Sprintf("histio: line %d: header: %s", d.Line, d.Reason)
+	case d.Op >= 0:
+		return fmt.Sprintf("histio: line %d: record %d: op %d (kind %q): %s",
+			d.Line, d.Record, d.Op, d.Kind, d.Reason)
+	default:
+		return fmt.Sprintf("histio: line %d: record %d: %s", d.Line, d.Record, d.Reason)
+	}
+}
+
+// Describe extracts the structured detail from any error wrapping a
+// *DecodeError; ok is false for unrelated errors (IO failures and the
+// like), which carry no stream position.
+func Describe(err error) (d ErrorDetail, ok bool) {
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		return ErrorDetail{}, false
+	}
+	return de.Detail(), true
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Counters is a small named-metric registry for long-lived services: a
+// flat namespace of int64 counters and gauges, safe for concurrent use.
+// viperd keeps one and exports it at GET /metrics as sorted
+// "name value" text lines — deliberately the simplest format a scrape
+// job or a shell pipeline can consume, with no client library required.
+//
+// By convention names ending in "_total" are monotone counters (Add) and
+// everything else is a gauge (Set); the registry itself does not enforce
+// the distinction.
+type Counters struct {
+	mu   sync.Mutex
+	vals map[string]int64
+}
+
+// NewCounters returns an empty registry.
+func NewCounters() *Counters {
+	return &Counters{vals: make(map[string]int64)}
+}
+
+// Add increments name by d (creating it at zero first).
+func (c *Counters) Add(name string, d int64) {
+	c.mu.Lock()
+	c.vals[name] += d
+	c.mu.Unlock()
+}
+
+// Set stores v as name's value (gauge semantics).
+func (c *Counters) Set(name string, v int64) {
+	c.mu.Lock()
+	c.vals[name] = v
+	c.mu.Unlock()
+}
+
+// Get returns name's current value (zero if never written).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vals[name]
+}
+
+// Snapshot copies the current values.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.vals))
+	for k, v := range c.vals {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteText renders the registry as sorted "name value" lines.
+func (c *Counters) WriteText(w io.Writer) error {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		fmt.Fprintf(bw, "%s %d\n", name, snap[name])
+	}
+	return bw.Flush()
+}
+
+// ParseMetrics parses WriteText's output back into a map — the client
+// half of the /metrics wire format.
+func ParseMetrics(r io.Reader) (map[string]int64, error) {
+	out := make(map[string]int64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		var name string
+		var v int64
+		if _, err := fmt.Sscanf(line, "%s %d", &name, &v); err != nil {
+			return nil, fmt.Errorf("obs: bad metrics line %q: %v", line, err)
+		}
+		out[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

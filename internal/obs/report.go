@@ -95,8 +95,11 @@ type CycleEdge struct {
 type ReportDoc struct {
 	Version int    `json:"version"`
 	Tool    string `json:"tool"`
-	Level   string `json:"level"`
-	Outcome string `json:"outcome"`
+	// ToolVersion is the emitting tool's build version (one shared string
+	// across the suite; see internal/version).
+	ToolVersion string `json:"tool_version,omitempty"`
+	Level       string `json:"level"`
+	Outcome     string `json:"outcome"`
 
 	Host    HostInfo    `json:"host"`
 	History HistoryInfo `json:"history"`
@@ -137,13 +140,15 @@ func DecodeReport(r io.Reader) (*ReportDoc, error) {
 	return &d, nil
 }
 
-// Normalize zeroes every host- and timing-dependent field in place, so
-// two reports of the same check on different machines (or runs) compare
-// equal. This is the exact field list the golden-report tests rely on:
-// all durations, heap sizes, host identity, and file paths; counters and
-// verdicts are untouched.
+// Normalize zeroes every host-, build-, and timing-dependent field in
+// place, so two reports of the same check on different machines (or
+// runs, or tool releases) compare equal. This is the exact field list
+// the golden-report tests rely on: all durations, heap sizes, host
+// identity, tool version, and file paths; counters and verdicts are
+// untouched.
 func (d *ReportDoc) Normalize() {
 	d.Host = HostInfo{}
+	d.ToolVersion = ""
 	d.History.Path = ""
 	d.Phases = PhaseInfo{}
 	if d.Final != nil {

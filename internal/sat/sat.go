@@ -242,8 +242,16 @@ func (s *Solver) SetRandomSeed(seed int64) {
 }
 
 // Interrupt makes a concurrently running Solve return Unknown at its next
-// budget check. Safe to call from another goroutine.
+// budget check. Safe to call from another goroutine. The flag is sticky —
+// an Interrupt delivered between solves is seen by the next Solve — until
+// ClearInterrupt re-arms the instance.
 func (s *Solver) Interrupt() { s.stop.Store(true) }
+
+// ClearInterrupt resets a previous Interrupt so the instance can solve
+// again. Long-lived solvers (the warm incremental session) call this
+// before each solve: a cancellation that stopped one audit must not
+// condemn every later one.
+func (s *Solver) ClearInterrupt() { s.stop.Store(false) }
 
 // SetPhase sets the initial decision polarity of v: when the solver
 // branches on v it will first try the given value. Encodings use this to

@@ -1,0 +1,210 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"viper/internal/histio"
+	"viper/internal/obs"
+)
+
+// Client is the Go client for a viperd server. It speaks the whole API:
+// session lifecycle, streaming append, audits, progress, metrics and
+// health. cmd/viper's remote mode and the end-to-end tests are built on
+// it. A Client is safe for concurrent use.
+type Client struct {
+	base string
+	// HTTP is the underlying client; replace it to set timeouts or
+	// transports. Defaults to http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://127.0.0.1:7457").
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), HTTP: http.DefaultClient}
+}
+
+// APIError is a non-2xx server response: the HTTP status, the server's
+// message, the structured stream-decode detail when the failure was a
+// malformed history (Detail renders exactly like the CLI's error), and
+// the suggested backoff when the server was saturated (429).
+type APIError struct {
+	Status     int
+	Message    string
+	Detail     *histio.ErrorDetail
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("viperd: HTTP %d: %s", e.Status, e.Message)
+}
+
+// IsSaturated reports whether err is the server refusing work under
+// admission control (HTTP 429) — retry after err.RetryAfter.
+func IsSaturated(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Status == http.StatusTooManyRequests
+}
+
+// do sends one request and decodes a JSON response into out (when
+// non-nil), turning non-2xx responses into *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		ae := &APIError{
+			Status:     resp.StatusCode,
+			RetryAfter: retryAfterSeconds(resp.Header.Get("Retry-After")),
+		}
+		var body apiError
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body) == nil && body.Error != "" {
+			ae.Message, ae.Detail = body.Error, body.Detail
+		} else {
+			ae.Message = resp.Status
+		}
+		return ae
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// CreateSession creates a checking session and returns its state (the
+// server-assigned ID in particular).
+func (c *Client) CreateSession(ctx context.Context, cfg SessionConfig) (SessionInfo, error) {
+	buf, err := json.Marshal(cfg)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	var info SessionInfo
+	err = c.do(ctx, http.MethodPost, "/v1/sessions", bytes.NewReader(buf), &info)
+	return info, err
+}
+
+// Sessions lists the server's live sessions.
+func (c *Client) Sessions(ctx context.Context) ([]SessionInfo, error) {
+	var out struct {
+		Sessions []SessionInfo `json:"sessions"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/sessions", nil, &out)
+	return out.Sessions, err
+}
+
+// DeleteSession removes a session and frees its state.
+func (c *Client) DeleteSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+}
+
+// AppendResult reports one append call's effect.
+type AppendResult struct {
+	// Appended is the number of transactions this call decoded.
+	Appended int `json:"appended"`
+	// Txns and Ops are the session's running totals.
+	Txns int64 `json:"txns"`
+	Ops  int64 `json:"ops"`
+	// Complete is set once the stream has been declared finished.
+	Complete bool `json:"complete"`
+}
+
+// Append streams one chunk of history-log bytes into the session. Chunks
+// may split records anywhere — the server buffers partial lines across
+// calls. Set complete on the final chunk (or call Complete) to declare
+// the stream finished, which also validates the header's declared
+// transaction count.
+func (c *Client) Append(ctx context.Context, id string, chunk io.Reader, complete bool) (AppendResult, error) {
+	path := "/v1/sessions/" + id + "/append"
+	if complete {
+		path += "?complete=1"
+	}
+	var res AppendResult
+	err := c.do(ctx, http.MethodPost, path, chunk, &res)
+	return res, err
+}
+
+// Complete declares the session's stream finished without new bytes.
+func (c *Client) Complete(ctx context.Context, id string) (AppendResult, error) {
+	return c.Append(ctx, id, strings.NewReader(""), true)
+}
+
+// Audit runs an audit over everything the session has ingested and
+// returns the server's report document — the same document cmd/viper
+// -report-json emits for the same history. Saturation surfaces as an
+// *APIError with IsSaturated(err) true; a request-deadline timeout
+// returns the report with Outcome "timeout" alongside an HTTP 504
+// *APIError-free success (the document itself carries the verdict).
+func (c *Client) Audit(ctx context.Context, id string) (*obs.ReportDoc, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sessions/"+id+"/audit", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	// 504 still carries a (timeout-outcome) report document.
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusGatewayTimeout {
+		ae := &APIError{
+			Status:     resp.StatusCode,
+			RetryAfter: retryAfterSeconds(resp.Header.Get("Retry-After")),
+		}
+		var body apiError
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body) == nil && body.Error != "" {
+			ae.Message, ae.Detail = body.Error, body.Detail
+		} else {
+			ae.Message = resp.Status
+		}
+		return nil, ae
+	}
+	return obs.DecodeReport(resp.Body)
+}
+
+// Progress returns the session's live progress snapshot; during a
+// running audit this is the solver's latest sampling tick.
+func (c *Client) Progress(ctx context.Context, id string) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id+"/progress", nil, &snap)
+	return snap, err
+}
+
+// Health returns the server's liveness document.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// Metrics fetches and parses the /metrics counters.
+func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &APIError{Status: resp.StatusCode, Message: resp.Status}
+	}
+	return obs.ParseMetrics(resp.Body)
+}

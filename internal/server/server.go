@@ -1,0 +1,618 @@
+// Package server implements viperd, the checking-as-a-service daemon: an
+// HTTP layer (stdlib net/http only) over viper's online incremental
+// Checker. Clients create named sessions, stream history chunks into
+// them, and request audits; the server owns session lifecycle (max
+// count, per-session op quotas, idle-TTL eviction), admission control
+// for solver work (a bounded worker pool with a bounded queue — beyond
+// that, 429), and operability surfaces (/metrics, per-session progress,
+// /healthz, graceful shutdown that drains in-flight audits).
+//
+// # API
+//
+//	POST   /v1/sessions               create a session  {"name","level",...}
+//	GET    /v1/sessions               list sessions
+//	DELETE /v1/sessions/{id}          delete a session
+//	POST   /v1/sessions/{id}/append   stream history chunks (?complete=1 to finish)
+//	POST   /v1/sessions/{id}/audit    run an audit, returns an obs.ReportDoc
+//	GET    /v1/sessions/{id}/progress live progress snapshot of a running audit
+//	GET    /healthz                   liveness + version
+//	GET    /metrics                   text key/value counters
+//
+// Errors are JSON bodies {"error": "..."}; malformed-stream 400s carry
+// the structured histio.ErrorDetail under "detail".
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"viper/internal/core"
+	"viper/internal/histio"
+	"viper/internal/obs"
+	"viper/internal/version"
+)
+
+// Config sizes the daemon. The zero value is usable: every field falls
+// back to the documented default.
+type Config struct {
+	// MaxSessions caps live sessions; creation beyond it is refused with
+	// 429 until a session is deleted or evicted. Default 64.
+	MaxSessions int
+	// MaxSessionOps caps the operations one session may ingest (its memory
+	// footprint is proportional). Exceeding it poisons the session's
+	// ingest with 413. Default 1<<20.
+	MaxSessionOps int
+	// IdleTTL evicts sessions untouched for this long. Default 15m;
+	// negative disables eviction.
+	IdleTTL time.Duration
+	// AuditTimeout bounds each audit request (merged with the client's
+	// context: whichever expires first). Default 60s; negative means no
+	// server-side bound.
+	AuditTimeout time.Duration
+	// Workers caps concurrently running audits. Default GOMAXPROCS.
+	Workers int
+	// QueueDepth caps audits waiting for a worker; beyond it requests get
+	// an immediate 429 + Retry-After instead of queueing unboundedly.
+	// Default 2*Workers.
+	QueueDepth int
+	// Logger receives request logs; nil discards them.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxSessionOps == 0 {
+		c.MaxSessionOps = 1 << 20
+	}
+	if c.IdleTTL == 0 {
+		c.IdleTTL = 15 * time.Minute
+	}
+	if c.AuditTimeout == 0 {
+		c.AuditTimeout = 60 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	return c
+}
+
+// Server is the daemon: session registry, admission gate, metrics, and
+// the HTTP handler over them. Create with New, serve with Serve (or
+// mount Handler on a listener of your own), stop with Shutdown.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	metrics *obs.Counters
+	start   time.Time
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   int
+	closed   bool
+
+	// Admission gate: tokens holds one slot per worker; waiting counts
+	// queued acquirers and is bounded by QueueDepth.
+	tokens  chan struct{}
+	waiting atomic.Int64
+
+	// inflight tracks running audits so Shutdown can drain them even when
+	// the handler is mounted on an external http.Server.
+	inflight sync.WaitGroup
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+	stopOnce    sync.Once
+
+	httpMu  sync.Mutex
+	httpSrv *http.Server
+
+	// preAudit, when set, runs after a session's audit request passes
+	// admission but before the solve starts, with the request's (possibly
+	// deadline-wrapped) context. Tests use it to hold an audit in a known
+	// state (e.g. to race a client disconnect against it).
+	preAudit func(id string, ctx context.Context)
+}
+
+// New returns a configured server. It starts the idle-eviction janitor;
+// call Shutdown to stop it even if the server never serves traffic.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		metrics:     obs.NewCounters(),
+		start:       time.Now(),
+		sessions:    make(map[string]*session),
+		tokens:      make(chan struct{}, cfg.Workers),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/append", s.handleAppend)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/audit", s.handleAudit)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/progress", s.handleProgress)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.IdleTTL > 0 {
+		go s.janitor()
+	} else {
+		close(s.janitorDone)
+	}
+	return s
+}
+
+// Handler returns the server's HTTP handler (request logging included),
+// for mounting on an http.Server or httptest.Server of the caller's.
+func (s *Server) Handler() http.Handler { return s.logged(s.mux) }
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like http.Server.Serve.
+func (s *Server) Serve(l net.Listener) error {
+	srv := &http.Server{Handler: s.Handler()}
+	s.httpMu.Lock()
+	s.httpSrv = srv
+	s.httpMu.Unlock()
+	return srv.Serve(l)
+}
+
+// Shutdown stops the server gracefully: no new sessions or audits are
+// admitted, in-flight audits run to completion (bounded by ctx — when it
+// expires their request contexts are canceled, which interrupts the
+// solves), the janitor stops, and, when Serve was used, the listener
+// closes and idle connections are torn down.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.janitorStop) })
+	<-s.janitorDone
+
+	done := make(chan struct{})
+	go func() { s.inflight.Wait(); close(done) }()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	if srv != nil {
+		if herr := srv.Shutdown(ctx); err == nil {
+			err = herr
+		}
+	}
+	return err
+}
+
+// Metrics exposes the server's counter registry (tests and embedders).
+func (s *Server) Metrics() *obs.Counters { return s.metrics }
+
+// ---- session registry ----
+
+func (s *Server) lookup(id string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	tick := s.cfg.IdleTTL / 4
+	if tick < 100*time.Millisecond {
+		tick = 100 * time.Millisecond
+	}
+	if tick > time.Minute {
+		tick = time.Minute
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+			s.evictIdle()
+		}
+	}
+}
+
+// evictIdle removes sessions idle past the TTL. A session busy in an
+// audit holds its mutex, so TryLock naturally skips it — activity is
+// what the TTL measures.
+func (s *Server) evictIdle() {
+	cutoff := time.Now().Add(-s.cfg.IdleTTL).UnixNano()
+	s.mu.Lock()
+	var idle []*session
+	for _, sess := range s.sessions {
+		if sess.lastUsed.Load() < cutoff {
+			idle = append(idle, sess)
+		}
+	}
+	s.mu.Unlock()
+	for _, sess := range idle {
+		if !sess.mu.TryLock() {
+			continue // mid-operation; it will refresh lastUsed
+		}
+		if sess.lastUsed.Load() < cutoff {
+			s.mu.Lock()
+			if s.sessions[sess.id] == sess {
+				delete(s.sessions, sess.id)
+				s.metrics.Add("viperd_sessions_evicted_total", 1)
+				s.metrics.Set("viperd_sessions_active", int64(len(s.sessions)))
+			}
+			s.mu.Unlock()
+		}
+		sess.mu.Unlock()
+	}
+}
+
+// ---- admission gate ----
+
+// errSaturated is returned by acquire when the queue is full.
+var errSaturated = fmt.Errorf("audit workers and queue are saturated")
+
+// acquire claims an audit worker slot. A free slot is claimed
+// immediately; otherwise the caller joins the bounded queue, and when
+// the queue is full acquire fails at once — the server never queues
+// unboundedly. The returned release must be called when the audit ends.
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case s.tokens <- struct{}{}:
+		return s.release, nil
+	default:
+	}
+	if s.waiting.Add(1) > int64(s.cfg.QueueDepth) {
+		s.waiting.Add(-1)
+		return nil, errSaturated
+	}
+	defer s.waiting.Add(-1)
+	select {
+	case s.tokens <- struct{}{}:
+		return s.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.tokens }
+
+// ---- HTTP plumbing ----
+
+// apiError is the JSON error body. Stream decode failures carry the
+// structured histio detail so clients see the exact line/record/op
+// context the CLI would print.
+type apiError struct {
+	Error  string              `json:"error"`
+	Detail *histio.ErrorDetail `json:"detail,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	body := apiError{Error: err.Error()}
+	if d, ok := histio.Describe(err); ok {
+		body.Detail = &d
+	}
+	writeJSON(w, status, body)
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) logged(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s.metrics.Add("viperd_http_requests_total", 1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, req)
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Printf("%s %s %d %s", req.Method, req.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+		}
+	})
+}
+
+// ---- handlers ----
+
+// SessionConfig is the session-creation request body. Level accepts the
+// same names the CLI's -level flag does; unset fields take the checker's
+// defaults.
+type SessionConfig struct {
+	// Name is an optional client-chosen prefix for the session id (ids are
+	// always server-assigned and unique).
+	Name string `json:"name,omitempty"`
+	// Level is the isolation level to check ("si", "gsi", "sssi",
+	// "strong-si", "ser", "rc"); default "si".
+	Level string `json:"level,omitempty"`
+	// ClockDriftNS is the real-time levels' drift bound in nanoseconds.
+	ClockDriftNS int64 `json:"clock_drift_ns,omitempty"`
+	// Parallelism caps polygraph-construction workers (0 = all cores).
+	Parallelism int `json:"parallelism,omitempty"`
+	// Portfolio races N differently-seeded solvers (0/1 = single solver).
+	Portfolio int `json:"portfolio,omitempty"`
+	// InitialK overrides the pruning heuristic's starting k.
+	InitialK int `json:"initial_k,omitempty"`
+	// DisablePruning turns off §3.5 heuristic pruning.
+	DisablePruning bool `json:"disable_pruning,omitempty"`
+}
+
+// SessionInfo is one session's public state, as listed by GET
+// /v1/sessions and returned by creation.
+type SessionInfo struct {
+	ID       string `json:"id"`
+	Level    string `json:"level"`
+	Txns     int64  `json:"txns"`
+	Ops      int64  `json:"ops"`
+	Complete bool   `json:"complete"`
+}
+
+func (sess *session) info() SessionInfo {
+	return SessionInfo{
+		ID:       sess.id,
+		Level:    sess.level,
+		Txns:     sess.txns.Load(),
+		Ops:      sess.opsN.Load(),
+		Complete: sess.complete.Load(),
+	}
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) {
+	var cfg SessionConfig
+	if req.Body != nil {
+		if err := json.NewDecoder(io.LimitReader(req.Body, 1<<20)).Decode(&cfg); err != nil && err != io.EOF {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding session config: %v", err))
+			return
+		}
+	}
+	opts := core.Options{
+		ClockDrift:     time.Duration(cfg.ClockDriftNS),
+		Parallelism:    cfg.Parallelism,
+		Portfolio:      cfg.Portfolio,
+		InitialK:       cfg.InitialK,
+		DisablePruning: cfg.DisablePruning,
+	}
+	if cfg.Level != "" {
+		lvl, ok := core.ParseLevel(cfg.Level)
+		if !ok {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown isolation level %q", cfg.Level))
+			return
+		}
+		opts.Level = lvl
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is shutting down"))
+		return
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.metrics.Add("viperd_session_rejects_total", 1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, fmt.Errorf("session limit reached (%d); delete one or retry later", s.cfg.MaxSessions))
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("s%d", s.nextID)
+	if cfg.Name != "" {
+		id = fmt.Sprintf("%s-%d", cfg.Name, s.nextID)
+	}
+	sess := newSession(id, opts, s.cfg.MaxSessionOps)
+	s.sessions[id] = sess
+	active := len(s.sessions)
+	s.mu.Unlock()
+
+	s.metrics.Add("viperd_sessions_created_total", 1)
+	s.metrics.Set("viperd_sessions_active", int64(active))
+	writeJSON(w, http.StatusCreated, sess.info())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, req *http.Request) {
+	s.mu.Lock()
+	infos := make([]SessionInfo, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		infos = append(infos, sess.info())
+	}
+	s.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	writeJSON(w, http.StatusOK, map[string][]SessionInfo{"sessions": infos})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+		s.metrics.Add("viperd_sessions_deleted_total", 1)
+		s.metrics.Set("viperd_sessions_active", int64(len(s.sessions)))
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	sess := s.lookup(id)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+		return
+	}
+	sess.touch()
+	complete := req.URL.Query().Get("complete") == "1" || req.URL.Query().Get("complete") == "true"
+
+	sess.mu.Lock()
+	appended, status, err := sess.ingest(req.Body, complete)
+	sess.syncMirrors()
+	sess.mu.Unlock()
+	sess.touch()
+
+	s.metrics.Add("viperd_appends_total", 1)
+	s.metrics.Add("viperd_txns_ingested_total", int64(appended))
+	if err != nil {
+		s.metrics.Add("viperd_append_errors_total", 1)
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Appended int   `json:"appended"`
+		Txns     int64 `json:"txns"`
+		Ops      int64 `json:"ops"`
+		Complete bool  `json:"complete"`
+	}{appended, sess.txns.Load(), sess.opsN.Load(), sess.complete.Load()})
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	sess := s.lookup(id)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is shutting down"))
+		return
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+	sess.touch()
+
+	ctx := req.Context()
+	if s.cfg.AuditTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.AuditTimeout)
+		defer cancel()
+	}
+
+	release, err := s.acquire(ctx)
+	if err != nil {
+		if err == errSaturated {
+			s.metrics.Add("viperd_audit_saturations_total", 1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		// The client went away (or the deadline passed) while queued.
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("canceled while queued: %v", err))
+		return
+	}
+	defer release()
+
+	if s.preAudit != nil {
+		s.preAudit(id, ctx)
+	}
+
+	sess.mu.Lock()
+	res, doc := sess.audit(ctx)
+	sess.mu.Unlock()
+	sess.touch()
+
+	s.metrics.Add("viperd_audits_total", 1)
+	s.metrics.Add("viperd_audits_"+res.Outcome.String()+"_total", 1)
+	if res.Outcome == core.Timeout && ctx.Err() != nil {
+		// The request deadline (or the client's disconnect) interrupted the
+		// solve; 504 distinguishes that from a genuine verdict.
+		writeJSON(w, http.StatusGatewayTimeout, doc)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	sess := s.lookup(id)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+		return
+	}
+	// Checker.Progress is safe concurrently with a running audit — this
+	// endpoint must not block behind sess.mu.
+	snap := sess.checker.Progress()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// Health is the /healthz response body.
+type Health struct {
+	Status   string `json:"status"`
+	Version  string `json:"version"`
+	Sessions int    `json:"sessions"`
+	UptimeNS int64  `json:"uptime_ns"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	s.mu.Lock()
+	n := len(s.sessions)
+	closed := s.closed
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if closed {
+		status, code = "shutting-down", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, Health{
+		Status:   status,
+		Version:  version.Version,
+		Sessions: n,
+		UptimeNS: int64(time.Since(s.start)),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.metrics.Set("viperd_uptime_seconds", int64(time.Since(s.start)/time.Second))
+	s.metrics.Set("viperd_audit_queue_depth", s.waiting.Load())
+	s.metrics.Set("viperd_audit_workers_busy", int64(len(s.tokens)))
+	s.metrics.WriteText(w)
+}
+
+// retryAfterSeconds parses a Retry-After header value (client side).
+func retryAfterSeconds(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if n, err := strconv.Atoi(h); err == nil {
+		return time.Duration(n) * time.Second
+	}
+	return 0
+}

@@ -1,0 +1,182 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"viper"
+	"viper/internal/core"
+	"viper/internal/histio"
+	"viper/internal/obs"
+)
+
+// session is one named checking session: a viper.Checker plus the
+// streaming-decode state that turns POSTed log chunks into appended
+// transactions. Chunks may split records (and even the header) at
+// arbitrary byte boundaries — the decoder runs in tail mode, buffering
+// an unterminated final line until a later request completes it, exactly
+// like `viper -follow` tailing a growing file.
+//
+// All mutating operations (append, audit, delete) serialize on mu — the
+// underlying Checker is not safe for concurrent use. Progress and the
+// listing endpoints read only the atomic mirrors, so observation never
+// blocks behind a running audit.
+type session struct {
+	id     string
+	level  string
+	opts   core.Options
+	maxOps int
+
+	mu      sync.Mutex
+	checker *viper.Checker
+	buf     bytes.Buffer // undecoded stream bytes feeding dec
+	dec     *histio.Decoder
+	ops     int
+	// ingestErr is the session's terminal ingest failure (a decode error
+	// or an exhausted quota): the stream position is unrecoverable, so
+	// every later append reports the same failure. Audits stay allowed —
+	// the prefix that did decode is a legitimate history.
+	ingestErr    error
+	ingestStatus int
+
+	// Lock-free mirrors for listings, /healthz, and eviction.
+	txns     atomic.Int64
+	opsN     atomic.Int64
+	complete atomic.Bool
+	lastUsed atomic.Int64 // unix nanos of the last client operation
+}
+
+func newSession(id string, opts core.Options, maxOps int) *session {
+	s := &session{
+		id:      id,
+		level:   opts.Level.String(),
+		opts:    opts,
+		maxOps:  maxOps,
+		checker: viper.NewChecker(opts),
+	}
+	s.dec = histio.NewDecoder(&s.buf)
+	s.dec.SetTail(true)
+	s.touch()
+	return s
+}
+
+// touch records client activity for idle-TTL eviction.
+func (sess *session) touch() { sess.lastUsed.Store(time.Now().UnixNano()) }
+
+// quotaError marks quota-exhaustion ingest failures (HTTP 413).
+type quotaError struct{ limit, ops int }
+
+func (e *quotaError) Error() string {
+	return fmt.Sprintf("per-session op quota exceeded (limit %d, stream carries more than %d ops)", e.limit, e.ops)
+}
+
+// ingest appends one request body's bytes to the session stream and
+// decodes every transaction that completed. With complete set, the
+// stream is declared finished: the decoder leaves tail mode, so a final
+// record cut off mid-write or a header/record-count mismatch surfaces
+// here with the same histio error context `viper -follow` reports on
+// idle-exit. Returns the transactions appended by this call and, on
+// failure, the HTTP status the error maps to.
+//
+// Callers hold sess.mu.
+func (sess *session) ingest(body io.Reader, complete bool) (appended int, status int, err error) {
+	if sess.ingestErr != nil {
+		return 0, sess.ingestStatus, sess.ingestErr
+	}
+	if sess.complete.Load() {
+		return 0, http.StatusConflict, fmt.Errorf("session stream already completed")
+	}
+	fail := func(status int, err error) (int, int, error) {
+		sess.ingestErr, sess.ingestStatus = err, status
+		return appended, status, err
+	}
+	chunk := make([]byte, 32<<10)
+	for {
+		n, rerr := body.Read(chunk)
+		if n > 0 {
+			sess.buf.Write(chunk[:n])
+			if derr := sess.drain(&appended); derr != nil {
+				return fail(ingestStatusFor(derr), derr)
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			// The request body failed mid-transfer (client went away). The
+			// session itself is fine: the decoder buffered any partial line
+			// and a retry can continue the stream.
+			return appended, http.StatusBadRequest, fmt.Errorf("reading request body: %v", rerr)
+		}
+	}
+	if complete {
+		// Leaving tail mode makes the decoder treat the stream as finished:
+		// a buffered partial line is decoded as-is (mid-record EOF fails
+		// JSON decoding with line/record context) and the header's declared
+		// transaction count is enforced.
+		sess.dec.SetTail(false)
+		if derr := sess.drain(&appended); derr != nil {
+			return fail(ingestStatusFor(derr), derr)
+		}
+		sess.complete.Store(true)
+	}
+	return appended, http.StatusOK, nil
+}
+
+// ingestStatusFor maps a drain failure to its HTTP status: quota
+// exhaustion is 413, malformed stream content is 400.
+func ingestStatusFor(err error) int {
+	var qe *quotaError
+	if errors.As(err, &qe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// drain decodes every currently-complete record into the checker,
+// enforcing the op quota.
+func (sess *session) drain(appended *int) error {
+	for {
+		t, err := sess.dec.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if sess.ops+len(t.Ops) > sess.maxOps {
+			return &quotaError{limit: sess.maxOps, ops: sess.ops}
+		}
+		sess.checker.Append(t)
+		sess.ops += len(t.Ops)
+		*appended++
+	}
+}
+
+// audit runs one incremental audit under ctx and assembles the report
+// document — the same document cmd/viper emits for the same check, via
+// the shared core.BuildReportDoc. Callers hold sess.mu (audits serialize
+// with appends) and the admission gate.
+func (sess *session) audit(ctx context.Context) (*viper.Result, *obs.ReportDoc) {
+	res := sess.checker.AuditContext(ctx)
+	h := sess.checker.History()
+	// Validate populates the snapshot's session/key indexes, which the
+	// document's history-stats section reads; a validation failure is
+	// already in res.Violation.
+	_ = h.Validate()
+	doc := core.BuildReportDoc("viperd", "", h, res.ParseTime, res.Report, res.Violation, sess.opts, nil)
+	return res, doc
+}
+
+// syncMirrors refreshes the lock-free counters after a mutation under mu.
+func (sess *session) syncMirrors() {
+	sess.txns.Store(int64(sess.checker.Len()))
+	sess.opsN.Store(int64(sess.ops))
+}

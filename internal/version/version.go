@@ -1,0 +1,9 @@
+// Package version holds the single shared version string of the viper
+// tool suite. Every binary exposes it via -version, the report documents
+// carry it as tool_version, and viperd stamps it into /healthz — one
+// constant, so a deployment can always tell which build produced an
+// artifact.
+package version
+
+// Version is the tool-suite version, bumped per release.
+const Version = "0.4.0"

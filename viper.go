@@ -37,6 +37,7 @@
 package viper
 
 import (
+	"context"
 	"time"
 
 	"viper/internal/core"
@@ -166,6 +167,19 @@ func Check(h *History, opts Options) *Result {
 	}
 	parse := time.Since(start)
 	rep := core.CheckHistory(h, opts)
+	return &Result{Outcome: rep.Outcome, Report: rep, ParseTime: parse}
+}
+
+// CheckContext is Check under a cancellation context: ctx's deadline
+// bounds checking like Options.Timeout (whichever expires first), and
+// canceling ctx interrupts a running solve, returning Outcome Timeout.
+func CheckContext(ctx context.Context, h *History, opts Options) *Result {
+	start := time.Now()
+	if err := h.Validate(); err != nil {
+		return &Result{Outcome: Reject, Violation: err, ParseTime: time.Since(start)}
+	}
+	parse := time.Since(start)
+	rep := core.CheckHistoryContext(ctx, h, opts)
 	return &Result{Outcome: rep.Outcome, Report: rep, ParseTime: parse}
 }
 
