@@ -336,6 +336,49 @@ func BenchmarkPolygraphBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkPolygraphBuildAllocs tracks construction's allocation profile
+// (the writersByKey / collectReads index-building paths); regressions here
+// show up as allocs/op long before they move wall time.
+func BenchmarkPolygraphBuildAllocs(b *testing.B) {
+	h := benchHistory(b, "blindw-rw", workload.NewBlindWRW(), 1000, 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pg := core.Build(h, core.Options{Level: core.AdyaSI, Parallelism: 1})
+		if pg.NumNodes == 0 {
+			b.Fatal("empty polygraph")
+		}
+	}
+}
+
+// BenchmarkResolveAblation isolates pre-solve constraint resolution on the
+// constraint-heaviest workload: "resolve" is the default pipeline, "solver"
+// pushes every constraint to the SAT search (DisableResolve). The custom
+// metric is the fraction of constraints the resolution fixpoint discharged
+// before the solver saw them; EXPERIMENTS.md records the numbers.
+func BenchmarkResolveAblation(b *testing.B) {
+	for _, size := range []int{1000, 2000} {
+		h := benchHistory(b, "blindw-rw", workload.NewBlindWRW(), size, 24)
+		for _, disable := range []bool{false, true} {
+			name := fmt.Sprintf("txns=%d/resolve", size)
+			if disable {
+				name = fmt.Sprintf("txns=%d/solver", size)
+			}
+			b.Run(name, func(b *testing.B) {
+				var resolved, constraints int
+				for i := 0; i < b.N; i++ {
+					rep := core.CheckHistory(h, core.Options{Level: core.AdyaSI, DisableResolve: disable})
+					mustOutcome(b, rep.Outcome, core.Accept)
+					resolved, constraints = rep.ResolvedConstraints, rep.Constraints
+				}
+				if constraints > 0 {
+					b.ReportMetric(float64(resolved)/float64(constraints)*100, "resolved-%")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkPolygraphBuildParallel measures sharded construction on the
 // constraint-heaviest workload at paper scale (BlindW-RW, 5000 txns);
 // workers=1 is the serial baseline the speedup is read against.

@@ -62,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		drift       = fs.Duration("drift", 0, "bounded clock drift between client collectors (for gsi / strong-si / strong-session-si)")
 		timeout     = fs.Duration("timeout", 0, "checking time budget (0 = unbounded)")
 		noPruning   = fs.Bool("no-pruning", false, "disable heuristic pruning (§3.5)")
+		resolve     = fs.Bool("resolve", true, "pre-solve constraint resolution against the known-graph closure")
 		noCombine   = fs.Bool("no-combine", false, "disable combining writes")
 		noCoalesce  = fs.Bool("no-coalesce", false, "disable coalescing constraints")
 		initialK    = fs.Int("k", 0, "initial heuristic pruning distance (0 = default)")
@@ -103,6 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ClockDrift:           *drift,
 		Timeout:              *timeout,
 		DisablePruning:       *noPruning,
+		DisableResolve:       !*resolve,
 		DisableCombineWrites: *noCombine,
 		DisableCoalesce:      *noCoalesce,
 		InitialK:             *initialK,
@@ -165,9 +167,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			construct += fmt.Sprintf(" (cpu %.3fs, %d workers)",
 				rep.Phases.ConstructCPU.Seconds(), rep.ConstructWorkers)
 		}
-		fmt.Fprintf(stdout, "time: parse %.3fs, %s, encode %.3fs, solve %.3fs\n",
-			parse.Seconds(), construct,
-			rep.Phases.Encode.Seconds(), rep.Phases.Solve.Seconds())
+		fmt.Fprintf(stdout, "time: parse %.3fs, %s, encode %.3fs, resolve %.3fs, solve %.3fs\n",
+			parse.Seconds(), construct, rep.Phases.Encode.Seconds(),
+			rep.Phases.Resolve.Seconds(), rep.Phases.Solve.Seconds())
 	}
 
 	if *verbose && !quiet {
@@ -179,6 +181,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			st.EdgesByKind[core.EdgeIntra], st.EdgesByKind[core.EdgeWR],
 			st.EdgesByKind[core.EdgeWW], st.EdgesByKind[core.EdgeRW],
 			st.EdgesByKind[core.EdgeSession], st.EdgesByKind[core.EdgeRealTime])
+		fmt.Fprintf(stdout, "resolve: %d constraints resolved, %d edges forced\n",
+			rep.ResolvedConstraints, rep.ForcedEdges)
 		fmt.Fprintf(stdout, "pruning: k=%d, %d constraints pruned, %d heuristic edges, %d retries\n",
 			rep.FinalK, rep.PrunedConstraints, rep.HeuristicEdges, rep.Retries)
 		fmt.Fprintf(stdout, "solver: %d vars, %d conflicts, %d decisions, %d propagations, %d theory conflicts\n",

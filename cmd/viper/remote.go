@@ -68,6 +68,7 @@ func runRemote(serverURL, path string, opts core.Options, levelName, reportJSON 
 		Portfolio:      opts.Portfolio,
 		InitialK:       opts.InitialK,
 		DisablePruning: opts.DisablePruning,
+		DisableResolve: opts.DisableResolve,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "viper: %v\n", err)

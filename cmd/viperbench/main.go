@@ -7,6 +7,7 @@
 //	viperbench -exp fig8                 # one experiment
 //	viperbench -exp all -timeout 30s     # everything, 30s per check
 //	viperbench -exp fig8 -sizes 100,200,400,1000 -clients 24
+//	viperbench -exp resolve -jsonout BENCH_resolve.json
 //
 // Paper-scale runs (e.g. -sizes up to 10000 with -timeout 600s) take
 // hours, exactly as the artifact's compute estimates say; the defaults are
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -48,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cpuProf     = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 		memProf     = fs.String("memprofile", "", "write a pprof heap profile (taken at exit) to this path")
 		execTr      = fs.String("trace", "", "write a Go execution trace of the run to this path")
+		jsonOut     = fs.String("jsonout", "", "also write the tables as a JSON array to this path")
 		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -136,6 +139,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		names = []string{*exp}
 	}
 
+	var tables []*experiments.Table
 	for _, name := range names {
 		start := time.Now()
 		table, err := all[name](cfg)
@@ -145,6 +149,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		table.Fprint(stdout)
 		fmt.Fprintf(stdout, "(%s completed in %.1fs)\n\n", name, time.Since(start).Seconds())
+		tables = append(tables, table)
+	}
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "viperbench: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "viperbench: %v\n", err)
+			return 1
+		}
 	}
 	return 0
 }

@@ -1,0 +1,107 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWords(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3},
+	}
+	for _, c := range cases {
+		if got := Words(c.n); got != c.want {
+			t.Errorf("Words(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestAddHas(t *testing.T) {
+	s := New(200)
+	for _, i := range []int32{0, 1, 63, 64, 127, 128, 199} {
+		if s.Has(i) {
+			t.Fatalf("fresh set has %d", i)
+		}
+		if !s.Add(i) {
+			t.Fatalf("Add(%d) reported no change on first insert", i)
+		}
+		if s.Add(i) {
+			t.Fatalf("Add(%d) reported change on second insert", i)
+		}
+		if !s.Has(i) {
+			t.Fatalf("set missing %d after Add", i)
+		}
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	// Neighbors of set bits must stay clear.
+	for _, i := range []int32{2, 62, 65, 126, 129, 198} {
+		if s.Has(i) {
+			t.Fatalf("set unexpectedly has %d", i)
+		}
+	}
+}
+
+func TestUnionWith(t *testing.T) {
+	a, b := New(300), New(300)
+	a.Add(3)
+	b.Add(70)
+	b.Add(3)
+	if !a.UnionWith(b) {
+		t.Fatal("union with new elements reported no change")
+	}
+	if a.UnionWith(b) {
+		t.Fatal("idempotent union reported change")
+	}
+	for _, i := range []int32{3, 70} {
+		if !a.Has(i) {
+			t.Fatalf("union missing %d", i)
+		}
+	}
+	if a.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", a.Count())
+	}
+}
+
+// TestUnionWithShorter exercises the o-shorter-than-s contract: high words
+// absent from o are treated as zero.
+func TestUnionWithShorter(t *testing.T) {
+	a, b := New(300), New(64)
+	a.Add(256)
+	b.Add(5)
+	if !a.UnionWith(b) {
+		t.Fatal("no change")
+	}
+	if !a.Has(5) || !a.Has(256) {
+		t.Fatal("union lost elements")
+	}
+}
+
+// TestAgainstMap cross-checks against a reference map implementation under
+// random operations.
+func TestAgainstMap(t *testing.T) {
+	const n = 500
+	rng := rand.New(rand.NewSource(1))
+	s := New(n)
+	ref := make(map[int32]bool)
+	for op := 0; op < 5000; op++ {
+		i := int32(rng.Intn(n))
+		switch rng.Intn(3) {
+		case 0:
+			changed := s.Add(i)
+			if changed == ref[i] {
+				t.Fatalf("Add(%d) changed=%v, ref has=%v", i, changed, ref[i])
+			}
+			ref[i] = true
+		case 1:
+			if s.Has(i) != ref[i] {
+				t.Fatalf("Has(%d) = %v, ref %v", i, s.Has(i), ref[i])
+			}
+		case 2:
+			if s.Count() != len(ref) {
+				t.Fatalf("Count = %d, ref %d", s.Count(), len(ref))
+			}
+		}
+	}
+}

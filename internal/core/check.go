@@ -75,7 +75,11 @@ type PhaseTimings struct {
 	// to ConstructWorkers× larger when sharded construction overlaps work
 	// (ConstructCPU / Construct is the effective construction speedup).
 	ConstructCPU time.Duration
-	Encode       time.Duration // emitting SMT clauses (summed over attempts)
+	// Resolve is the sound pre-solve resolution pass (resolve.go): closure
+	// build plus the constraint fixpoint. Zero when the pass was disabled
+	// or declined to run.
+	Resolve time.Duration
+	Encode  time.Duration // emitting SMT clauses (summed over attempts)
 	// Solve is SAT+theory solving summed over attempts. Under a portfolio
 	// it is the winning solver's time only; losers' encode/solve time is
 	// never booked (it would misattribute the Figure 10 decomposition).
@@ -95,6 +99,16 @@ type Report struct {
 	// ConstructWorkers is the worker count used for polygraph
 	// construction (see Options.Parallelism).
 	ConstructWorkers int
+
+	// ResolvedConstraints counts constraints the sound pre-solve resolution
+	// pass discharged without the solver (one side dead against the known
+	// graph's transitive closure, or one side already implied by it);
+	// ForcedEdges counts the known edges that forcing appended. Zero when
+	// Options.DisableResolve is set or the pass declined to run. On a warm
+	// incremental session both are cumulative across audits, like
+	// Constraints.
+	ResolvedConstraints int
+	ForcedEdges         int
 
 	// Final-attempt statistics.
 	PrunedConstraints int // constraints resolved by heuristic pruning
@@ -133,20 +147,22 @@ type Report struct {
 // snapshot. Audit/Txns/ElapsedNS/HeapInUse are the caller's to stamp.
 func (rep *Report) Snapshot() obs.Snapshot {
 	return obs.Snapshot{
-		Phase:             "done",
-		Nodes:             rep.Nodes,
-		KnownEdges:        rep.KnownEdges,
-		Constraints:       rep.Constraints,
-		PrunedConstraints: rep.PrunedConstraints,
-		EdgeVars:          rep.EdgeVars,
-		Conflicts:         rep.Solver.Conflicts,
-		Decisions:         rep.Solver.Decisions,
-		Propagations:      rep.Solver.Propagations,
-		Learnts:           int64(rep.Solver.Learnts),
-		Restarts:          rep.Solver.Restarts,
-		TheoryConfl:       rep.Solver.TheoryConfl,
-		Reorders:          rep.Reorders,
-		ReorderedNodes:    rep.ReorderedNodes,
+		Phase:               "done",
+		Nodes:               rep.Nodes,
+		KnownEdges:          rep.KnownEdges,
+		Constraints:         rep.Constraints,
+		PrunedConstraints:   rep.PrunedConstraints,
+		ResolvedConstraints: rep.ResolvedConstraints,
+		ForcedEdges:         rep.ForcedEdges,
+		EdgeVars:            rep.EdgeVars,
+		Conflicts:           rep.Solver.Conflicts,
+		Decisions:           rep.Solver.Decisions,
+		Propagations:        rep.Solver.Propagations,
+		Learnts:             int64(rep.Solver.Learnts),
+		Restarts:            rep.Solver.Restarts,
+		TheoryConfl:         rep.Solver.TheoryConfl,
+		Reorders:            rep.Reorders,
+		ReorderedNodes:      rep.ReorderedNodes,
 	}
 }
 
@@ -247,12 +263,13 @@ func CheckPolygraphContext(ctx context.Context, pg *Polygraph, opts Options) *Re
 	for _, ke := range pg.Known {
 		out[ke.From] = append(out[ke.From], ke.To)
 	}
-	order, ok := acyclic.TopoPriority(int(pg.NumNodes), out, func(a, b int32) bool {
+	less := func(a, b int32) bool {
 		if pg.nodeTS[a] != pg.nodeTS[b] {
 			return pg.nodeTS[a] < pg.nodeTS[b]
 		}
 		return a < b
-	})
+	}
+	order, ok := acyclic.TopoPriority(int(pg.NumNodes), out, less)
 	if !ok {
 		rep.Outcome = Reject
 		rep.KnownCycle = pg.knownCycle(out)
@@ -271,6 +288,51 @@ func CheckPolygraphContext(ctx context.Context, pg *Polygraph, opts Options) *Re
 
 	pos := positionsOf(order)
 
+	// Sound pre-solve resolution (resolve.go): discharge every constraint
+	// the known graph's transitive closure already decides, before any
+	// solver exists. Unlike the heuristic pruning below, everything this
+	// pass forces is exact, so a cycle among forced edges is an immediate
+	// rejection with known-edge evidence, and a fully-resolved constraint
+	// set accepts without ever encoding a clause.
+	cons, known := pg.Cons, pg.Known
+	if !opts.DisableResolve {
+		resolveStart := time.Now()
+		rr := resolvePolygraph(ctx, pg, out, order, opts.workers())
+		rep.Phases.Resolve = time.Since(resolveStart)
+		if rr != nil {
+			rep.ResolvedConstraints = rr.resolved
+			rep.ForcedEdges = len(rr.forced)
+			if rr.cycle != nil {
+				rep.Outcome = Reject
+				rep.KnownCycle = rr.cycle
+				return rep
+			}
+			cons = rr.kept
+			if len(rr.forced) > 0 {
+				// Forced edges joined the known graph (resolvePolygraph
+				// extended out in place): recompute the heuristic order over
+				// the extended graph — still a DAG, the resolver checked
+				// every forced edge against the closure.
+				known = make([]KnownEdge, 0, len(pg.Known)+len(rr.forced))
+				known = append(append(known, pg.Known...), rr.forced...)
+				if order, ok = acyclic.TopoPriority(int(pg.NumNodes), out, less); !ok {
+					rep.Outcome = Reject
+					rep.KnownCycle = pg.knownCycle(out)
+					return rep
+				}
+				pos = positionsOf(order)
+			}
+			if len(cons) == 0 {
+				// Every constraint resolved: the extended known graph is the
+				// whole polygraph and its topological order is the witness.
+				rep.Outcome = Accept
+				rep.WitnessPositions = positionsOf(order)
+				rep.selfCheck(pg, opts)
+				return rep
+			}
+		}
+	}
+
 	k := opts.initialK()
 	useHeuristic := !opts.DisablePruning
 	if !useHeuristic {
@@ -281,7 +343,7 @@ func CheckPolygraphContext(ctx context.Context, pg *Polygraph, opts Options) *Re
 			rep.Outcome = Timeout
 			return rep
 		}
-		res := pg.attempt(ctx, opts, rep, pos, k, deadline, checkStart)
+		res := pg.attempt(ctx, opts, rep, cons, known, pos, k, deadline, checkStart)
 		switch res {
 		case sat.Sat:
 			rep.Outcome = Accept
@@ -308,7 +370,7 @@ func CheckPolygraphContext(ctx context.Context, pg *Polygraph, opts Options) *Re
 // attempt runs one encode+solve round. k > 0 applies heuristic pruning at
 // stride k; k == 0 is exact. Canceling ctx interrupts the attempt's
 // solver(s); the attempt then reports Unknown.
-func (pg *Polygraph) attempt(ctx context.Context, opts Options, rep *Report, pos []int32, k int, deadline time.Time, checkStart time.Time) sat.Result {
+func (pg *Polygraph) attempt(ctx context.Context, opts Options, rep *Report, cons []Constraint, known []KnownEdge, pos []int32, k int, deadline time.Time, checkStart time.Time) sat.Result {
 	attReg := opts.Tracer.Start("attempt")
 	attReg.SetAttr("k", int64(k))
 	defer attReg.End()
@@ -316,7 +378,6 @@ func (pg *Polygraph) attempt(ctx context.Context, opts Options, rep *Report, pos
 
 	var forced []Edge    // constraint sides resolved by pruning
 	var heuristic []Edge // stride edges
-	cons := pg.Cons
 	if k > 0 {
 		var keep []Constraint
 		violates := func(side []Edge) bool {
@@ -327,12 +388,17 @@ func (pg *Polygraph) attempt(ctx context.Context, opts Options, rep *Report, pos
 			}
 			return false
 		}
-		for _, c := range cons {
+		for i, c := range cons {
 			fBad, sBad := violates(c.First), violates(c.Second)
 			switch {
 			case fBad && sBad:
 				// Both sides contradict the heuristic order: this attempt
 				// cannot succeed; skip the solver and retry with larger k.
+				// Stamp what this attempt actually did before bailing —
+				// otherwise the counters of a previous, smaller-k attempt
+				// leak into the final report.
+				rep.PrunedConstraints = i + 1 - len(keep)
+				rep.HeuristicEdges = 0
 				rep.Phases.Encode += time.Since(encodeStart)
 				return sat.Unsat
 			case fBad:
@@ -411,20 +477,22 @@ func (pg *Polygraph) attempt(ctx context.Context, opts Options, rep *Report, pos
 			pruned := rep.PrunedConstraints
 			s.SetProgress(opts.progressInterval(), func() {
 				snap := obs.Snapshot{
-					Phase:             "solve",
-					ElapsedNS:         int64(time.Since(checkStart)),
-					Nodes:             int(pg.NumNodes),
-					KnownEdges:        len(pg.Known),
-					Constraints:       len(pg.Cons),
-					PrunedConstraints: pruned,
-					EdgeVars:          s.NumVars(),
-					Conflicts:         s.Stats.Conflicts,
-					Decisions:         s.Stats.Decisions,
-					Propagations:      s.Stats.Propagations,
-					Learnts:           int64(s.Stats.Learnts),
-					Restarts:          s.Stats.Restarts,
-					TheoryConfl:       s.Stats.TheoryConfl,
-					HeapInUse:         obs.HeapInUse(),
+					Phase:               "solve",
+					ElapsedNS:           int64(time.Since(checkStart)),
+					Nodes:               int(pg.NumNodes),
+					KnownEdges:          len(known),
+					Constraints:         len(pg.Cons),
+					PrunedConstraints:   pruned,
+					ResolvedConstraints: rep.ResolvedConstraints,
+					ForcedEdges:         rep.ForcedEdges,
+					EdgeVars:            s.NumVars(),
+					Conflicts:           s.Stats.Conflicts,
+					Decisions:           s.Stats.Decisions,
+					Propagations:        s.Stats.Propagations,
+					Learnts:             int64(s.Stats.Learnts),
+					Restarts:            s.Stats.Restarts,
+					TheoryConfl:         s.Stats.TheoryConfl,
+					HeapInUse:           obs.HeapInUse(),
 				}
 				if eager != nil {
 					snap.Reorders, snap.ReorderedNodes = eager.Reorders()
@@ -451,7 +519,7 @@ func (pg *Polygraph) attempt(ctx context.Context, opts Options, rep *Report, pos
 		// no SAT variables, no clauses — so the boolean search ranges only
 		// over the genuinely unknown constraint edges.
 		okSoFar := true
-		for _, ke := range pg.Known {
+		for _, ke := range known {
 			okSoFar = alloc.InsertConstant(ke.From, ke.To) && okSoFar
 		}
 		for _, e := range forced {

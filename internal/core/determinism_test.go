@@ -26,6 +26,8 @@ type reportFingerprint struct {
 	nodes            int
 	knownEdges       int
 	constraints      int
+	resolved         int
+	forcedEdges      int
 	pruned           int
 	heuristic        int
 	edgeVars         int
@@ -49,6 +51,8 @@ func fingerprint(rep *Report) reportFingerprint {
 	fp.nodes = rep.Nodes
 	fp.knownEdges = rep.KnownEdges
 	fp.constraints = rep.Constraints
+	fp.resolved = rep.ResolvedConstraints
+	fp.forcedEdges = rep.ForcedEdges
 	fp.pruned = rep.PrunedConstraints
 	fp.heuristic = rep.HeuristicEdges
 	fp.edgeVars = rep.EdgeVars
@@ -88,10 +92,12 @@ func TestCheckDeterminism(t *testing.T) {
 		}{
 			{"default", func(*Options) {}},
 			// The solver-search reject path: rejection must come out of the
-			// constraint search, with nonzero conflicts.
+			// constraint search, with nonzero conflicts. Resolution is off
+			// because it would discharge longFork before any solver ran.
 			{"no-combine-no-pruning", func(o *Options) {
 				o.DisableCombineWrites = true
 				o.DisablePruning = true
+				o.DisableResolve = true
 			}},
 		} {
 			opts1, opts2 := detOpts(AdyaSI), detOpts(AdyaSI)
@@ -123,6 +129,7 @@ func TestCheckDeterminismSolverWorks(t *testing.T) {
 	opts := detOpts(AdyaSI)
 	opts.DisableCombineWrites = true
 	opts.DisablePruning = true
+	opts.DisableResolve = true
 	rep := CheckHistory(longFork(t), opts)
 	if rep.Outcome != Reject {
 		t.Fatalf("outcome %v, want reject", rep.Outcome)

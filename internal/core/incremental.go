@@ -96,6 +96,16 @@ type consState struct {
 	// solver. Pruned constraints stay clause-free: their forced side is
 	// assumed edge-by-edge instead (see auditWarm).
 	encoded bool
+	// resolved is the sound pre-solve resolution state (resolve.go):
+	// consLive, or one of the discharged states. Forced states are
+	// permanent (deadness against a growing closure never reverts);
+	// implied states are revalidated each audit because the side lists
+	// grow.
+	resolved uint8
+	// kind1/kind2/key carry each side's provenance so resolution-forced
+	// edges enter the known graph like construction-time forcing would.
+	kind1, kind2 EdgeKind
+	key          history.Key
 }
 
 // warmState is the persistent solver + theory reused across audits.
@@ -117,6 +127,26 @@ type warmState struct {
 	intraHigh int
 	// assumpBuf is reused across audits for the assumption literals.
 	assumpBuf []sat.Lit
+
+	// cl is the bitset transitive closure of the constant edges, kept
+	// across audits for sound pre-solve resolution (resolve.go). clDirty
+	// requests a full rebuild from kinds under the Pearce–Kelly order
+	// (fresh sessions and closures grown past capacity). cl stays nil
+	// when resolution is disabled or the closure is over budget.
+	cl      *closure
+	clDirty bool
+	// clStaged buffers constants inserted since the last audit's fold;
+	// clPending holds sources of arcs already in cl's adjacency whose
+	// reachability has not been folded into the rows (forcings resolveWarm
+	// deferred). One refresh per audit absorbs both; until then the rows
+	// under-approximate the constant graph, which every resolution read
+	// tolerates (see resolve.go).
+	clStaged  []Edge
+	clPending []int32
+	// resolved / forcedEdges are the session-cumulative resolution
+	// counters backing Report.ResolvedConstraints / ForcedEdges.
+	resolved    int
+	forcedEdges int
 }
 
 // Incremental is a long-lived checking session over a growing history.
@@ -597,10 +627,11 @@ func (inc *Incremental) auditWarm(ctx context.Context, constructStart time.Time,
 	rebuild := inc.warm == nil
 	if rebuild {
 		w := &warmState{
-			s:     sat.New(),
-			th:    acyclic.NewEdgeTheory(0),
-			cons:  make(map[history.Key]map[[2]Edge]*consState),
-			kinds: make(map[Edge]KnownEdge),
+			s:       sat.New(),
+			th:      acyclic.NewEdgeTheory(0),
+			cons:    make(map[history.Key]map[[2]Edge]*consState),
+			kinds:   make(map[Edge]KnownEdge),
+			clDirty: true,
 		}
 		w.s.SetTheory(w.th)
 		inc.warm = w
@@ -613,24 +644,40 @@ func (inc *Incremental) auditWarm(ctx context.Context, constructStart time.Time,
 	n := inc.numNodes()
 	w.th.Grow(int(n))
 
+	// Closure maintenance happens before the encode loop so constants
+	// inserted below can fold in incrementally. A closure that cannot admit
+	// the new nodes in place, or whose incremental patching has exceeded
+	// what a rebuild costs, is dropped and rebuilt from kinds after the
+	// encode loop (under the Pearce–Kelly order the theory maintains).
+	if w.cl != nil && !w.cl.grow(int(n)) {
+		w.cl, w.clDirty = nil, true
+	}
+
 	rep := &Report{Level: opts.Level, Nodes: int(n), ConstructWorkers: workers}
 	rep.Phases.Construct = construct
 	rep.Phases.ConstructCPU = construct - regenWall + regenCPU
 
 	// Constants go straight into the theory graph; a failed insertion is a
 	// cycle among permanently-true edges, i.e. an immediate rejection.
+	// Every new constant is also staged for the resolution closure (when
+	// one is live); the resolution block folds the batch in before use —
+	// incrementally while cheap, via rebuild past the density threshold.
 	var cyc []KnownEdge
 	insert := func(e Edge, kind EdgeKind, key history.Key) bool {
 		if e.From == e.To {
 			return true
+		}
+		if _, seen := w.kinds[e]; seen {
+			return true // already a constant; re-insertion is a no-op
 		}
 		path, ok := w.th.InsertConstantPath(e.From, e.To)
 		if !ok {
 			cyc = cycleEvidence(path, KnownEdge{Edge: e, Kind: kind, Key: key}, w.kinds)
 			return false
 		}
-		if _, seen := w.kinds[e]; !seen {
-			w.kinds[e] = KnownEdge{Edge: e, Kind: kind, Key: key}
+		w.kinds[e] = KnownEdge{Edge: e, Kind: kind, Key: key}
+		if w.cl != nil {
+			w.clStaged = append(w.clStaged, e)
 		}
 		return true
 	}
@@ -705,7 +752,7 @@ encode:
 			}
 			st := kcons[op.id]
 			if st == nil {
-				st = &consState{sel: w.s.NewVar()}
+				st = &consState{sel: w.s.NewVar(), kind1: op.kind, kind2: op.kind2, key: key}
 				if kcons == nil {
 					kcons = make(map[[2]Edge]*consState)
 					w.cons[key] = kcons
@@ -756,6 +803,71 @@ encode:
 		return rep
 	}
 
+	// Sound pre-solve resolution against the persistent closure
+	// (resolve.go): rebuild the closure if requested (fresh warm state,
+	// growth past capacity, or staleness), then discharge every constraint
+	// the constant graph's reachability already decides. A rejection found
+	// here carries a known-edge witness exactly like a failed constant
+	// insertion above.
+	if !opts.DisableResolve {
+		resolveStart := time.Now()
+		// Fold the constants inserted since the last audit as one batch:
+		// stage the arcs, then recompute only the rows their sources can
+		// have changed (refresh); when most rows are dirty anyway, refresh
+		// declines and the level-parallel full build recomputes everything.
+		if w.cl != nil && !w.clDirty && (len(w.clStaged) > 0 || len(w.clPending) > 0) {
+			srcs := w.clPending
+			for _, e := range w.clStaged {
+				w.cl.addArc(e.From, e.To)
+				srcs = append(srcs, e.From)
+			}
+			order := make([]int32, n)
+			for i := int32(0); i < n; i++ {
+				order[w.th.Order(i)] = i
+			}
+			if !w.cl.refresh(order, srcs) {
+				w.cl.build(order, opts.workers())
+			}
+		}
+		w.clStaged = w.clStaged[:0]
+		w.clPending = w.clPending[:0]
+		if w.clDirty {
+			w.clDirty = false
+			capN := int(n) + int(n)/2 + 64
+			if closureFeasible(int(n), capN) {
+				cl := newClosure(int(n), capN)
+				for _, e := range sortedEdgeList(w.kinds) {
+					cl.addArc(e.From, e.To)
+				}
+				// The theory's Pearce–Kelly order is a topological order of
+				// a supergraph of the constants, so it serves as the build
+				// order directly — no fresh topological sort needed.
+				order := make([]int32, n)
+				for i := int32(0); i < n; i++ {
+					order[w.th.Order(i)] = i
+				}
+				cl.build(order, opts.workers())
+				w.cl = cl
+			} else {
+				w.cl = nil
+			}
+		}
+		if w.cl != nil {
+			witness := resolveWarm(w, opts.workers())
+			rep.ResolvedConstraints, rep.ForcedEdges = w.resolved, w.forcedEdges
+			rep.KnownEdges = w.th.NumConstants() // forcing adds constants
+			rep.Phases.Resolve = time.Since(resolveStart)
+			if witness != nil {
+				rep.Outcome = Reject
+				rep.KnownCycle = witness
+				return rep
+			}
+		} else {
+			rep.Phases.Resolve = time.Since(resolveStart)
+		}
+	}
+	rep.ResolvedConstraints, rep.ForcedEdges = w.resolved, w.forcedEdges
+
 	solveStart := time.Now()
 	solReg := opts.Tracer.Start("solve")
 	w.s.SetDeadline(solveDeadline(ctx, *opts))
@@ -799,20 +911,22 @@ encode:
 	if opts.Progress != nil {
 		w.s.SetProgress(opts.progressInterval(), func() {
 			snap := obs.Snapshot{
-				Phase:             "solve",
-				ElapsedNS:         int64(time.Since(constructStart)),
-				Nodes:             int(n),
-				KnownEdges:        w.th.NumConstants(),
-				Constraints:       len(w.consList),
-				PrunedConstraints: rep.PrunedConstraints,
-				EdgeVars:          w.s.NumVars(),
-				Conflicts:         w.s.Stats.Conflicts,
-				Decisions:         w.s.Stats.Decisions,
-				Propagations:      w.s.Stats.Propagations,
-				Learnts:           int64(w.s.Stats.Learnts),
-				Restarts:          w.s.Stats.Restarts,
-				TheoryConfl:       w.s.Stats.TheoryConfl,
-				HeapInUse:         obs.HeapInUse(),
+				Phase:               "solve",
+				ElapsedNS:           int64(time.Since(constructStart)),
+				Nodes:               int(n),
+				KnownEdges:          w.th.NumConstants(),
+				Constraints:         len(w.consList),
+				PrunedConstraints:   rep.PrunedConstraints,
+				ResolvedConstraints: rep.ResolvedConstraints,
+				ForcedEdges:         rep.ForcedEdges,
+				EdgeVars:            w.s.NumVars(),
+				Conflicts:           w.s.Stats.Conflicts,
+				Decisions:           w.s.Stats.Decisions,
+				Propagations:        w.s.Stats.Propagations,
+				Learnts:             int64(w.s.Stats.Learnts),
+				Restarts:            w.s.Stats.Restarts,
+				TheoryConfl:         w.s.Stats.TheoryConfl,
+				HeapInUse:           obs.HeapInUse(),
 			}
 			snap.Reorders, snap.ReorderedNodes = w.th.Reorders()
 			inc.publish(snap)
@@ -849,6 +963,9 @@ encode:
 				return false
 			}
 			for _, st := range w.consList {
+				if st.resolved != consLive {
+					continue // discharged by resolution
+				}
 				fBad, sBad := bad(st.first), bad(st.second)
 				switch {
 				case fBad == sBad:
@@ -881,9 +998,25 @@ encode:
 			}
 		} else {
 			for _, st := range w.consList {
-				if !st.encoded {
+				if st.resolved == consLive && !st.encoded {
 					encodeCons(st)
 				}
+			}
+		}
+		// Implication-discharged constraints that already carry clauses:
+		// assume the implied side's selector polarity so the solver never
+		// branches on them. An assumption (not a unit clause) because the
+		// discharge is revoked if the implied side later grows a
+		// non-implied edge; forced discharges, by contrast, are permanent
+		// and got unit clauses at forcing time.
+		for _, st := range w.consList {
+			if !st.encoded {
+				continue
+			}
+			if st.resolved == consImpliedFirst {
+				assumps = append(assumps, sat.PosLit(st.sel))
+			} else if st.resolved == consImpliedSecond {
+				assumps = append(assumps, sat.NegLit(st.sel))
 			}
 		}
 		w.assumpBuf = assumps
@@ -891,7 +1024,7 @@ encode:
 		rep.PrunedConstraints = pruned
 		encodeExtra += time.Since(passStart)
 		res = w.s.SolveAssuming(assumps...)
-		if res == sat.Unsat && w.s.Okay() && len(assumps) > 0 {
+		if res == sat.Unsat && w.s.Okay() && pruned > 0 {
 			// Unsatisfiable only under the pruning assumptions.
 			rep.Retries++
 			w.s.Relax()

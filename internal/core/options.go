@@ -120,6 +120,13 @@ type Options struct {
 	// DisablePruning turns off heuristic pruning (§3.5).
 	DisablePruning bool
 
+	// DisableResolve turns off the sound pre-solve constraint resolution
+	// pass (resolve.go): unit propagation over the known graph's transitive
+	// closure, which discharges constraints and forces edges before any
+	// solver runs. Resolution never changes verdicts — it is a pure
+	// optimization — so this is an escape hatch and ablation knob.
+	DisableResolve bool
+
 	// InitialK is the initial heuristic-pruning distance; 0 means the
 	// default (128 nodes). On rejection the checker doubles K and retries
 	// until K exceeds the node count (at which point no heuristic is

@@ -210,7 +210,7 @@ func (pg *Polygraph) applyOp(op *keyOp, key history.Key) {
 			// One side holds trivially: the constraint imposes nothing.
 			return
 		}
-		pg.Cons = append(pg.Cons, Constraint{First: f, Second: s, Key: key})
+		pg.Cons = append(pg.Cons, Constraint{First: f, Second: s, Kind1: op.kind, Kind2: op.kind2, Key: key})
 	}
 }
 

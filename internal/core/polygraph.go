@@ -72,8 +72,13 @@ type KnownEdge struct {
 // generalized to edge sets by constraint coalescing). Uncoalesced
 // constraints have singleton sides and are encoded as the paper's XOR;
 // coalesced constraints get a selector boolean implying each side.
+// Kind1/Kind2 carry each side's edge kind so a side forced later — by
+// construction-time contradiction of the other side, or by the sound
+// pre-solve resolution pass (resolve.go) — enters the known graph with
+// the same provenance construction-time forcing would have given it.
 type Constraint struct {
 	First, Second []Edge
+	Kind1, Kind2  EdgeKind
 	Key           history.Key
 }
 
@@ -248,7 +253,7 @@ func (pg *Polygraph) addConstraint(first, second []eventEdge, kind1, kind2 EdgeK
 		// One side holds trivially: the constraint imposes nothing (any
 		// acyclic supergraph can drop the other side's edges).
 	default:
-		pg.Cons = append(pg.Cons, Constraint{First: f, Second: s, Key: key})
+		pg.Cons = append(pg.Cons, Constraint{First: f, Second: s, Kind1: kind1, Kind2: kind2, Key: key})
 	}
 }
 
@@ -361,7 +366,7 @@ func (pg *Polygraph) initNodeTS() {
 // deletes keys, so absence can only mean "never inserted", i.e. the range
 // query read the key's initial version.
 func (pg *Polygraph) collectReads() map[history.Key]map[history.TxnID][]history.TxnID {
-	readers := make(map[history.Key]map[history.TxnID][]history.TxnID)
+	readers := make(map[history.Key]map[history.TxnID][]history.TxnID, len(pg.H.Txns))
 	pg.collectReadsInto(readers, pg.H.Txns[1:])
 	return readers
 }
@@ -377,7 +382,7 @@ func (pg *Polygraph) collectReadsInto(readers map[history.Key]map[history.TxnID]
 		}
 		m := readers[key]
 		if m == nil {
-			m = make(map[history.TxnID][]history.TxnID)
+			m = make(map[history.TxnID][]history.TxnID, 4)
 			readers[key] = m
 		}
 		for _, prev := range m[w] {
@@ -628,18 +633,27 @@ func (pg *Polygraph) writerChains(writers []history.TxnID, byWriter map[history.
 }
 
 // writersByKey indexes the committed writers of each key, in txn order.
+// Write ops are scanned directly rather than through a per-transaction
+// LastWritePerKey map (one map allocation per txn); a transaction's
+// repeated writes of a key deduplicate against the slice tail, since no
+// later transaction can have appended in between. Transactions iterate in
+// ID order, so each per-key slice is born sorted — no sort pass.
 func writersByKey(h *history.History) map[history.Key][]history.TxnID {
-	out := make(map[history.Key][]history.TxnID)
+	out := make(map[history.Key][]history.TxnID, len(h.Txns))
 	for _, t := range h.Txns[1:] {
 		if !t.Committed() {
 			continue
 		}
-		for key := range t.LastWritePerKey() {
-			out[key] = append(out[key], t.ID)
+		for i := range t.Ops {
+			switch t.Ops[i].Kind {
+			case history.OpWrite, history.OpInsert, history.OpDelete:
+				key := t.Ops[i].Key
+				if ws := out[key]; len(ws) > 0 && ws[len(ws)-1] == t.ID {
+					continue
+				}
+				out[key] = append(out[key], t.ID)
+			}
 		}
-	}
-	for _, ws := range out {
-		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
 	}
 	return out
 }

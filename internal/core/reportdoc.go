@@ -47,21 +47,24 @@ func BuildReportDoc(tool, path string, h *history.History, parse time.Duration, 
 	}
 	doc.Outcome = rep.Outcome.String()
 	doc.Graph = obs.GraphInfo{
-		Nodes:             rep.Nodes,
-		KnownEdges:        rep.KnownEdges,
-		Constraints:       rep.Constraints,
-		EdgeVars:          rep.EdgeVars,
-		PrunedConstraints: rep.PrunedConstraints,
-		HeuristicEdges:    rep.HeuristicEdges,
-		Retries:           rep.Retries,
-		FinalK:            rep.FinalK,
-		ConstructWorkers:  rep.ConstructWorkers,
+		Nodes:               rep.Nodes,
+		KnownEdges:          rep.KnownEdges,
+		Constraints:         rep.Constraints,
+		EdgeVars:            rep.EdgeVars,
+		ResolvedConstraints: rep.ResolvedConstraints,
+		ForcedEdges:         rep.ForcedEdges,
+		PrunedConstraints:   rep.PrunedConstraints,
+		HeuristicEdges:      rep.HeuristicEdges,
+		Retries:             rep.Retries,
+		FinalK:              rep.FinalK,
+		ConstructWorkers:    rep.ConstructWorkers,
 	}
 	doc.Phases = obs.PhaseInfo{
 		ParseNS:        int64(parse),
 		ConstructNS:    int64(rep.Phases.Construct),
 		ConstructCPUNS: int64(rep.Phases.ConstructCPU),
 		EncodeNS:       int64(rep.Phases.Encode),
+		ResolveNS:      int64(rep.Phases.Resolve),
 		SolveNS:        int64(rep.Phases.Solve),
 	}
 	doc.Solver = obs.SolverInfo{

@@ -1,0 +1,394 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"viper/internal/anomaly"
+	"viper/internal/histgen"
+	"viper/internal/history"
+	"viper/internal/oracle"
+)
+
+// checkBoth runs the same history with resolution enabled and disabled
+// and fails unless both verdicts match want (resolution is sound: it may
+// never flip a verdict).
+func checkBoth(t *testing.T, h *history.History, level Level, want Outcome, label string) *Report {
+	t.Helper()
+	on := CheckHistory(h, Options{Level: level})
+	off := CheckHistory(h, Options{Level: level, DisableResolve: true})
+	if on.Outcome != off.Outcome {
+		t.Fatalf("%s: resolve-on %v != resolve-off %v", label, on.Outcome, off.Outcome)
+	}
+	if on.Outcome != want {
+		t.Fatalf("%s: got %v, want %v", label, on.Outcome, want)
+	}
+	if off.ResolvedConstraints != 0 || off.ForcedEdges != 0 {
+		t.Fatalf("%s: DisableResolve reported resolution work (%d resolved, %d forced)",
+			label, off.ResolvedConstraints, off.ForcedEdges)
+	}
+	return on
+}
+
+// verifyKnownCycle checks that a rejection witness is a well-formed simple
+// cycle: consecutive edges chain To→From, the last edge closes back to the
+// first, and no transaction appears twice (the closure extracts witness
+// paths by BFS, so the cycle must also be free of shortcuts).
+func verifyKnownCycle(t *testing.T, cyc []KnownEdge, label string) {
+	t.Helper()
+	if len(cyc) < 2 {
+		t.Fatalf("%s: cycle too short: %v", label, cyc)
+	}
+	seen := make(map[int32]bool)
+	for i, ke := range cyc {
+		next := cyc[(i+1)%len(cyc)]
+		if ke.To != next.From {
+			t.Fatalf("%s: edge %d ends at %d but edge %d starts at %d", label, i, ke.To, i+1, next.From)
+		}
+		if seen[ke.From] {
+			t.Fatalf("%s: transaction %d repeats — cycle is not simple: %v", label, ke.From, cyc)
+		}
+		seen[ke.From] = true
+	}
+}
+
+// TestResolveDifferentialGenerated cross-checks resolution on schedule-
+// sampled SI histories (accepted by construction) at sizes where the
+// fixpoint does real work, across every level that uses the polygraph.
+func TestResolveDifferentialGenerated(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		h := histgen.SI(histgen.Spec{Txns: 200, Keys: 6, MaxConcurrency: 6, AbortEvery: 9, Seed: seed})
+		for _, level := range []Level{AdyaSI, GSI, StrongSessionSI, StrongSI} {
+			checkBoth(t, h, level, Accept, "generated SI")
+		}
+	}
+}
+
+// TestResolveDifferentialAnomalies injects every polygraph-level anomaly
+// into a generated SI history and checks that both configurations reject,
+// and that a resolution-found rejection carries a well-formed witness.
+func TestResolveDifferentialAnomalies(t *testing.T) {
+	for _, kind := range anomaly.Kinds() {
+		if kind.ValidationLevel() {
+			continue // rejected before the polygraph is built
+		}
+		for seed := int64(0); seed < 4; seed++ {
+			h := anomaly.Inject(histgen.SI(histgen.Spec{Txns: 120, Keys: 5, Seed: seed}), kind)
+			if err := h.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			rep := checkBoth(t, h, AdyaSI, Reject, kind.String())
+			if rep.KnownCycle != nil {
+				verifyKnownCycle(t, rep.KnownCycle, kind.String())
+			}
+		}
+	}
+}
+
+// mutateObservation rewires one random read to observe a different
+// committed write of the same key — the classic way a real execution goes
+// wrong. The result may or may not remain SI; the point of the fuzz is
+// only that resolution never changes the answer.
+func mutateObservation(h *history.History, rng *rand.Rand) bool {
+	writes := make(map[history.Key][]history.WriteID)
+	for _, txn := range h.Txns[1:] {
+		if txn.Status != history.StatusCommitted {
+			continue
+		}
+		for _, op := range txn.Ops {
+			if op.Kind == history.OpWrite || op.Kind == history.OpInsert {
+				writes[op.Key] = append(writes[op.Key], op.WriteID)
+			}
+		}
+	}
+	for attempt := 0; attempt < 64; attempt++ {
+		txn := h.Txns[1:][rng.Intn(len(h.Txns)-1)]
+		if len(txn.Ops) == 0 {
+			continue
+		}
+		op := &txn.Ops[rng.Intn(len(txn.Ops))]
+		if op.Kind != history.OpRead || len(writes[op.Key]) == 0 {
+			continue
+		}
+		op.Observed = writes[op.Key][rng.Intn(len(writes[op.Key]))]
+		return true
+	}
+	return false
+}
+
+// TestResolveDifferentialFuzz mutates observations of generated SI
+// histories and checks verdict equality on whatever comes out; tiny cases
+// are additionally compared against the exhaustive oracle.
+func TestResolveDifferentialFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 40; iter++ {
+		spec := histgen.Spec{Txns: 40, Keys: 3, MaxConcurrency: 4, Seed: int64(iter)}
+		tiny := iter%2 == 0
+		if tiny {
+			spec.Txns, spec.Keys = 7, 2
+		}
+		h := histgen.SI(spec)
+		for m := rng.Intn(3); m >= 0; m-- {
+			mutateObservation(h, rng)
+		}
+		if err := h.Validate(); err != nil {
+			continue // mutation broke a validation invariant: not our input
+		}
+		on := CheckHistory(h, Options{Level: AdyaSI})
+		off := CheckHistory(h, Options{Level: AdyaSI, DisableResolve: true})
+		if on.Outcome != off.Outcome {
+			t.Fatalf("iter %d: resolve-on %v != resolve-off %v", iter, on.Outcome, off.Outcome)
+		}
+		if tiny {
+			want := Reject
+			if oracle.IsSI(h) {
+				want = Accept
+			}
+			if on.Outcome != want {
+				t.Fatalf("iter %d: checker %v, oracle %v", iter, on.Outcome, want)
+			}
+		}
+	}
+}
+
+// TestResolveDifferentialIncremental streams a history that turns bad
+// mid-stream through two warm sessions (resolve on / off) and checks the
+// verdicts agree at every audit.
+func TestResolveDifferentialIncremental(t *testing.T) {
+	bad := anomaly.Inject(histgen.SI(histgen.Spec{Txns: 300, Keys: 6, MaxConcurrency: 5, Seed: 11}), anomaly.LostUpdate)
+	if err := bad.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	audit := func(inc *Incremental) *Report {
+		// Incremental's contract: the caller validates appended history
+		// before auditing (the streaming Checker wrapper does the same).
+		if err := inc.History().Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return inc.Audit()
+	}
+	on := NewIncremental(Options{Level: AdyaSI})
+	off := NewIncremental(Options{Level: AdyaSI, DisableResolve: true})
+	const step = 60
+	var last *Report
+	for at := 1; at < len(bad.Txns); at += step {
+		hi := at + step
+		if hi > len(bad.Txns) {
+			hi = len(bad.Txns)
+		}
+		for _, txn := range bad.Txns[at:hi] {
+			t2 := *txn
+			on.Append(&t2)
+			t3 := *txn
+			off.Append(&t3)
+		}
+		a, b := audit(on), audit(off)
+		if a.Outcome != b.Outcome {
+			t.Fatalf("audit at %d txns: resolve-on %v != resolve-off %v", hi, a.Outcome, b.Outcome)
+		}
+		last = a
+	}
+	if last == nil || last.Outcome != Reject {
+		t.Fatalf("final audit: %+v, want Reject", last)
+	}
+	if last.KnownCycle != nil {
+		verifyKnownCycle(t, last.KnownCycle, "incremental lost update")
+	}
+}
+
+// TestResolveCycleWitness forces resolution itself to find the rejection
+// (a G-SIb cycle is entirely decided by known edges once the constraints
+// resolve) and checks the witness is a valid simple known-edge cycle with
+// every edge carrying a concrete dependency kind.
+func TestResolveCycleWitness(t *testing.T) {
+	h := anomaly.Inject(histgen.SI(histgen.Spec{Txns: 150, Keys: 4, Seed: 2}), anomaly.GSIb)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rep := CheckHistory(h, Options{Level: AdyaSI})
+	if rep.Outcome != Reject {
+		t.Fatalf("outcome %v", rep.Outcome)
+	}
+	if rep.KnownCycle == nil {
+		t.Skip("rejection was found by the solver, not resolution, under this layout")
+	}
+	verifyKnownCycle(t, rep.KnownCycle, "G-SIb")
+	for i, ke := range rep.KnownCycle {
+		if ke.Kind == 0 && ke.Key == "" {
+			// Every witness edge must be attributable: either a polygraph
+			// known edge or a forced constraint side, both of which carry
+			// kind and key.
+			t.Fatalf("edge %d (%d→%d) has no provenance", i, ke.From, ke.To)
+		}
+	}
+}
+
+// --- closure unit tests --------------------------------------------------
+
+// randomDAGClosure builds a closure over a random DAG (edges only from
+// lower to higher ids, so identity order is topological) and returns the
+// staged edge list.
+func randomDAGClosure(rng *rand.Rand, n, edges int) (*closure, [][2]int32) {
+	cl := newClosure(n, n)
+	var es [][2]int32
+	for len(es) < edges {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		cl.addArc(u, v)
+		es = append(es, [2]int32{u, v})
+	}
+	return cl, es
+}
+
+func identityOrder(n int) []int32 {
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	return order
+}
+
+// reachRef is an O(n·e) reference reachability via per-node DFS.
+func reachRef(n int, es [][2]int32, u, v int32) bool {
+	adj := make([][]int32, n)
+	for _, e := range es {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	stack := []int32{u}
+	seen := make([]bool, n)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, y := range adj[x] {
+			if y == v {
+				return true
+			}
+			if !seen[y] {
+				seen[y] = true
+				stack = append(stack, y)
+			}
+		}
+	}
+	return false
+}
+
+// TestClosureBuildMatchesReference checks the parallel level build against
+// brute-force DFS reachability.
+func TestClosureBuildMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 20; iter++ {
+		n := 20 + rng.Intn(40)
+		cl, es := randomDAGClosure(rng, n, 3*n)
+		cl.build(identityOrder(n), 1+iter%4)
+		for u := int32(0); u < int32(n); u++ {
+			for v := int32(0); v < int32(n); v++ {
+				if got, want := cl.reaches(u, v), reachRef(n, es, u, v); got != want {
+					t.Fatalf("iter %d: reaches(%d,%d)=%v, reference %v", iter, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestClosureRefreshMatchesRebuild stages extra arcs on a built closure,
+// refreshes, and compares every row against a from-scratch build.
+func TestClosureRefreshMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 20; iter++ {
+		n := 30 + rng.Intn(30)
+		cl, es := randomDAGClosure(rng, n, 2*n)
+		order := identityOrder(n)
+		cl.build(order, 2)
+		var srcs []int32
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u >= v {
+				continue
+			}
+			cl.addArc(u, v)
+			es = append(es, [2]int32{u, v})
+			srcs = append(srcs, u)
+		}
+		if !cl.refresh(order, srcs) {
+			cl.build(order, 2)
+		}
+		for u := int32(0); u < int32(n); u++ {
+			for v := int32(0); v < int32(n); v++ {
+				if got, want := cl.reaches(u, v), reachRef(n, es, u, v); got != want {
+					t.Fatalf("iter %d: after refresh reaches(%d,%d)=%v, reference %v", iter, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestClosureTopoOrderFindCycle checks that topoOrder fails exactly on
+// cyclic stagings and that findCycle then returns a genuine simple cycle
+// of staged arcs.
+func TestClosureTopoOrderFindCycle(t *testing.T) {
+	cl := newClosure(6, 6)
+	for _, e := range [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}} {
+		cl.addArc(e[0], e[1])
+	}
+	if _, ok := cl.topoOrder(); !ok {
+		t.Fatal("acyclic staging reported a cycle")
+	}
+	cl.addArc(4, 1) // closes 1→2→3→4→1
+	if _, ok := cl.topoOrder(); ok {
+		t.Fatal("cyclic staging passed topoOrder")
+	}
+	cyc := cl.findCycle()
+	if len(cyc) < 2 {
+		t.Fatalf("findCycle returned %v", cyc)
+	}
+	has := func(u, v int32) bool {
+		for _, w := range cl.out[u] {
+			if w == v {
+				return true
+			}
+		}
+		return false
+	}
+	seen := make(map[int32]bool)
+	for i, u := range cyc {
+		if seen[u] {
+			t.Fatalf("node %d repeats in %v", u, cyc)
+		}
+		seen[u] = true
+		v := cyc[(i+1)%len(cyc)]
+		if !has(u, v) {
+			t.Fatalf("cycle step %d→%d is not a staged arc (%v)", u, v, cyc)
+		}
+	}
+}
+
+// TestClosureGrow checks capacity-bounded growth: rows keep their bits,
+// new nodes start empty, and overflow is reported rather than resized.
+func TestClosureGrow(t *testing.T) {
+	cl := newClosure(4, 8)
+	cl.addArc(0, 1)
+	cl.addArc(1, 2)
+	cl.build(identityOrder(4), 1)
+	if !cl.grow(6) {
+		t.Fatal("grow within capacity failed")
+	}
+	if !cl.reaches(0, 2) || cl.reaches(3, 0) || cl.reaches(4, 5) {
+		t.Fatal("grow corrupted rows")
+	}
+	cl.addArc(4, 5)
+	order := identityOrder(6)
+	if !cl.refresh(order, []int32{4}) {
+		t.Fatal("refresh after grow declined unexpectedly")
+	}
+	if !cl.reaches(4, 5) || !cl.reaches(0, 2) {
+		t.Fatal("refresh after grow lost reachability")
+	}
+	if cl.grow(9) {
+		t.Fatal("grow past capacity succeeded")
+	}
+}

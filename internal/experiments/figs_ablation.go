@@ -232,10 +232,13 @@ func All() map[string]func(Config) (*Table, error) {
 		"fig13": Fig13,
 		"fig14": Fig14,
 		"fig15": Fig15,
+
+		// Repo-local ablations (not paper figures).
+		"resolve": Resolve,
 	}
 }
 
 // Order lists experiments in paper order.
 func Order() []string {
-	return []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"}
+	return []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "resolve"}
 }

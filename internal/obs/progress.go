@@ -27,12 +27,16 @@ type Snapshot struct {
 	// ElapsedNS is the time since the enclosing check/audit began.
 	ElapsedNS int64 `json:"elapsed_ns"`
 
-	// Graph counters.
-	Nodes             int `json:"nodes"`
-	KnownEdges        int `json:"known_edges"`
-	Constraints       int `json:"constraints"`
-	PrunedConstraints int `json:"pruned_constraints"`
-	EdgeVars          int `json:"edge_vars"`
+	// Graph counters. ResolvedConstraints/ForcedEdges mirror the Report
+	// fields of the same name: constraints discharged (and edges forced)
+	// by the sound pre-solve resolution pass.
+	Nodes               int `json:"nodes"`
+	KnownEdges          int `json:"known_edges"`
+	Constraints         int `json:"constraints"`
+	PrunedConstraints   int `json:"pruned_constraints"`
+	ResolvedConstraints int `json:"resolved_constraints"`
+	ForcedEdges         int `json:"forced_edges"`
+	EdgeVars            int `json:"edge_vars"`
 
 	// Solver counters (sat.Stats).
 	Conflicts    int64 `json:"conflicts"`
@@ -56,11 +60,11 @@ type Snapshot struct {
 // String renders the snapshot as a single machine-grepable progress line.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"phase=%s audit=%d txns=%d elapsed=%.3fs conflicts=%d decisions=%d props=%d learnts=%d restarts=%d thconfl=%d reorders=%d pruned=%d edgevars=%d heap=%.1fMB",
+		"phase=%s audit=%d txns=%d elapsed=%.3fs conflicts=%d decisions=%d props=%d learnts=%d restarts=%d thconfl=%d reorders=%d pruned=%d resolved=%d forced=%d edgevars=%d heap=%.1fMB",
 		s.Phase, s.Audit, s.Txns, float64(s.ElapsedNS)/1e9,
 		s.Conflicts, s.Decisions, s.Propagations, s.Learnts, s.Restarts,
-		s.TheoryConfl, s.Reorders, s.PrunedConstraints, s.EdgeVars,
-		float64(s.HeapInUse)/(1<<20))
+		s.TheoryConfl, s.Reorders, s.PrunedConstraints, s.ResolvedConstraints,
+		s.ForcedEdges, s.EdgeVars, float64(s.HeapInUse)/(1<<20))
 }
 
 // HeapInUse reads the live heap size. It is only called on sampling ticks

@@ -44,15 +44,17 @@ type HistoryInfo struct {
 // report (core.Report's graph-side fields, flattened for a stable JSON
 // shape independent of internal struct layout).
 type GraphInfo struct {
-	Nodes             int `json:"nodes"`
-	KnownEdges        int `json:"known_edges"`
-	Constraints       int `json:"constraints"`
-	EdgeVars          int `json:"edge_vars"`
-	PrunedConstraints int `json:"pruned_constraints"`
-	HeuristicEdges    int `json:"heuristic_edges"`
-	Retries           int `json:"retries"`
-	FinalK            int `json:"final_k"`
-	ConstructWorkers  int `json:"construct_workers"`
+	Nodes               int `json:"nodes"`
+	KnownEdges          int `json:"known_edges"`
+	Constraints         int `json:"constraints"`
+	EdgeVars            int `json:"edge_vars"`
+	ResolvedConstraints int `json:"resolved_constraints"`
+	ForcedEdges         int `json:"forced_edges"`
+	PrunedConstraints   int `json:"pruned_constraints"`
+	HeuristicEdges      int `json:"heuristic_edges"`
+	Retries             int `json:"retries"`
+	FinalK              int `json:"final_k"`
+	ConstructWorkers    int `json:"construct_workers"`
 }
 
 // PhaseInfo is the Figure 10 runtime decomposition in nanoseconds.
@@ -61,6 +63,7 @@ type PhaseInfo struct {
 	ConstructNS    int64 `json:"construct_ns"`
 	ConstructCPUNS int64 `json:"construct_cpu_ns"`
 	EncodeNS       int64 `json:"encode_ns"`
+	ResolveNS      int64 `json:"resolve_ns"`
 	SolveNS        int64 `json:"solve_ns"`
 }
 

@@ -367,6 +367,8 @@ type SessionConfig struct {
 	InitialK int `json:"initial_k,omitempty"`
 	// DisablePruning turns off §3.5 heuristic pruning.
 	DisablePruning bool `json:"disable_pruning,omitempty"`
+	// DisableResolve turns off pre-solve constraint resolution.
+	DisableResolve bool `json:"disable_resolve,omitempty"`
 }
 
 // SessionInfo is one session's public state, as listed by GET
@@ -403,6 +405,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) {
 		Portfolio:      cfg.Portfolio,
 		InitialK:       cfg.InitialK,
 		DisablePruning: cfg.DisablePruning,
+		DisableResolve: cfg.DisableResolve,
 	}
 	if cfg.Level != "" {
 		lvl, ok := core.ParseLevel(cfg.Level)
@@ -550,6 +553,16 @@ func (s *Server) handleAudit(w http.ResponseWriter, req *http.Request) {
 
 	s.metrics.Add("viperd_audits_total", 1)
 	s.metrics.Add("viperd_audits_"+res.Outcome.String()+"_total", 1)
+	if rep := res.Report; rep != nil {
+		// The warm checker reports session-cumulative resolution counters;
+		// swap against the high-water mark so each audit adds only its delta.
+		if d := int64(rep.ResolvedConstraints) - sess.resolvedSeen.Swap(int64(rep.ResolvedConstraints)); d > 0 {
+			s.metrics.Add("viperd_resolved_constraints_total", d)
+		}
+		if d := int64(rep.ForcedEdges) - sess.forcedSeen.Swap(int64(rep.ForcedEdges)); d > 0 {
+			s.metrics.Add("viperd_forced_edges_total", d)
+		}
+	}
 	if res.Outcome == core.Timeout && ctx.Err() != nil {
 		// The request deadline (or the client's disconnect) interrupted the
 		// solve; 504 distinguishes that from a genuine verdict.

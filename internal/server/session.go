@@ -51,6 +51,12 @@ type session struct {
 	opsN     atomic.Int64
 	complete atomic.Bool
 	lastUsed atomic.Int64 // unix nanos of the last client operation
+
+	// High-water marks of the warm checker's cumulative resolution
+	// counters, so /metrics can accumulate per-audit deltas across
+	// sessions without double-counting the session-lifetime totals.
+	resolvedSeen atomic.Int64
+	forcedSeen   atomic.Int64
 }
 
 func newSession(id string, opts core.Options, maxOps int) *session {
