@@ -63,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout     = fs.Duration("timeout", 0, "checking time budget (0 = unbounded)")
 		noPruning   = fs.Bool("no-pruning", false, "disable heuristic pruning (§3.5)")
 		resolve     = fs.Bool("resolve", true, "pre-solve constraint resolution against the known-graph closure")
+		tsFastPath  = fs.String("ts-fastpath", "auto", "timestamp-assisted fast path: auto (on when usable timestamps are present) | on | off")
 		noCombine   = fs.Bool("no-combine", false, "disable combining writes")
 		noCoalesce  = fs.Bool("no-coalesce", false, "disable coalescing constraints")
 		initialK    = fs.Int("k", 0, "initial heuristic pruning distance (0 = default)")
@@ -98,6 +99,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "viper: unknown level %q\n", *levelFlag)
 		return exitUsage
 	}
+	// "auto" and "on" both enable the fast path — it engages exactly when
+	// the history's timestamps are usable, and forcing it onto a history
+	// without timestamps has nothing to act on; "off" is the ablation knob.
+	switch *tsFastPath {
+	case "auto", "on", "off":
+	default:
+		fmt.Fprintf(stderr, "viper: -ts-fastpath must be auto, on, or off (got %q)\n", *tsFastPath)
+		return exitUsage
+	}
 
 	opts := core.Options{
 		Level:                level,
@@ -105,6 +115,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Timeout:              *timeout,
 		DisablePruning:       *noPruning,
 		DisableResolve:       !*resolve,
+		DisableTSFastPath:    *tsFastPath == "off",
 		DisableCombineWrites: *noCombine,
 		DisableCoalesce:      *noCoalesce,
 		InitialK:             *initialK,
@@ -183,6 +194,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			st.EdgesByKind[core.EdgeSession], st.EdgesByKind[core.EdgeRealTime])
 		fmt.Fprintf(stdout, "resolve: %d constraints resolved, %d edges forced\n",
 			rep.ResolvedConstraints, rep.ForcedEdges)
+		if rep.TSUnusable != "" {
+			fmt.Fprintf(stdout, "ts-fastpath: timestamps unusable (%s)\n", rep.TSUnusable)
+		} else if rep.TSDecided > 0 || rep.TSResidual > 0 {
+			fmt.Fprintf(stdout, "ts-fastpath: %d constraints decided, %d residual (%.3fs)\n",
+				rep.TSDecided, rep.TSResidual, rep.Phases.TSOrder.Seconds())
+		}
 		fmt.Fprintf(stdout, "pruning: k=%d, %d constraints pruned, %d heuristic edges, %d retries\n",
 			rep.FinalK, rep.PrunedConstraints, rep.HeuristicEdges, rep.Retries)
 		fmt.Fprintf(stdout, "solver: %d vars, %d conflicts, %d decisions, %d propagations, %d theory conflicts\n",

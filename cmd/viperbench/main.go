@@ -47,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed        = fs.Int64("seed", 1, "history generation seed")
 		trials      = fs.Int("trials", 3, "trials for experiments the paper repeats (fig13)")
 		par         = fs.Int("parallel", 0, "polygraph construction workers for viper (0 = GOMAXPROCS, 1 = serial)")
+		tsFastPath  = fs.String("ts-fastpath", "auto", "timestamp-assisted fast path for viper invocations: auto (on when usable timestamps are present) | on | off")
 		cpuProf     = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 		memProf     = fs.String("memprofile", "", "write a pprof heap profile (taken at exit) to this path")
 		execTr      = fs.String("trace", "", "write a Go execution trace of the run to this path")
@@ -108,12 +109,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
+	switch *tsFastPath {
+	case "auto", "on", "off":
+	default:
+		fmt.Fprintf(stderr, "viperbench: -ts-fastpath must be auto, on, or off (got %q)\n", *tsFastPath)
+		return 3
+	}
 	cfg := experiments.Config{
-		Clients:     *clients,
-		Timeout:     *timeout,
-		Seed:        *seed,
-		Trials:      *trials,
-		Parallelism: *par,
+		Clients:           *clients,
+		Timeout:           *timeout,
+		Seed:              *seed,
+		Trials:            *trials,
+		Parallelism:       *par,
+		DisableTSFastPath: *tsFastPath == "off",
 	}
 	if *sizes != "" {
 		for _, part := range strings.Split(*sizes, ",") {

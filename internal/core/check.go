@@ -79,6 +79,10 @@ type PhaseTimings struct {
 	// build plus the constraint fixpoint. Zero when the pass was disabled
 	// or declined to run.
 	Resolve time.Duration
+	// TSOrder is the timestamp fast path (tsorder.go): deriving the
+	// timestamp-implied order and classifying every constraint against
+	// it. Zero when the path was disabled or the timestamps unusable.
+	TSOrder time.Duration
 	Encode  time.Duration // emitting SMT clauses (summed over attempts)
 	// Solve is SAT+theory solving summed over attempts. Under a portfolio
 	// it is the winning solver's time only; losers' encode/solve time is
@@ -109,6 +113,18 @@ type Report struct {
 	// Constraints.
 	ResolvedConstraints int
 	ForcedEdges         int
+
+	// TSDecided/TSResidual count the constraints the timestamp fast path
+	// (tsorder.go) classified: decided constraints were settled by the
+	// strict drift relation before any encoding, residual ones went to
+	// resolution and the solver. Both zero when Options.DisableTSFastPath
+	// is set or the timestamps were unusable; on a warm incremental
+	// session both are cumulative across audits, like ResolvedConstraints.
+	// TSUnusable, when non-empty, explains why the history's timestamps
+	// could not drive the fast path (absent/zero or inverted stamps).
+	TSDecided  int
+	TSResidual int
+	TSUnusable string
 
 	// Final-attempt statistics.
 	PrunedConstraints int // constraints resolved by heuristic pruning
@@ -154,6 +170,8 @@ func (rep *Report) Snapshot() obs.Snapshot {
 		PrunedConstraints:   rep.PrunedConstraints,
 		ResolvedConstraints: rep.ResolvedConstraints,
 		ForcedEdges:         rep.ForcedEdges,
+		TSDecided:           rep.TSDecided,
+		TSResidual:          rep.TSResidual,
 		EdgeVars:            rep.EdgeVars,
 		Conflicts:           rep.Solver.Conflicts,
 		Decisions:           rep.Solver.Decisions,
@@ -288,6 +306,41 @@ func CheckPolygraphContext(ctx context.Context, pg *Polygraph, opts Options) *Re
 
 	pos := positionsOf(order)
 
+	// Timestamp fast path (tsorder.go): when the history carries usable
+	// timestamps, classify every constraint against the strict drift
+	// relation in one near-linear pass. With everything decided and the
+	// chosen sides following the topological order (which already embeds
+	// every known edge), the order itself witnesses a compatible graph —
+	// accept without resolution, encoding, or solving. A small residue
+	// goes through resolution and one exact attempt with the decided
+	// sides as constants; Unsat there falls back to a full check with the
+	// fast path off, so timestamps can never flip a verdict (see
+	// tsorder.go for the soundness argument).
+	if !opts.DisableTSFastPath && ctx.Err() == nil {
+		if usable, reason := tsUsable(pg.H); !usable {
+			rep.TSUnusable = reason
+		} else {
+			tsStart := time.Now()
+			tc := pg.tsClassify(opts.ClockDrift.Nanoseconds())
+			rep.TSDecided, rep.TSResidual = tc.decided, len(tc.residual)
+			if len(tc.residual) == 0 && edgesForward(tc.chosen, pos) {
+				rep.Phases.TSOrder = time.Since(tsStart)
+				rep.Outcome = Accept
+				rep.WitnessPositions = pos
+				rep.selfCheck(pg, opts)
+				return rep
+			}
+			if tc.decided*10 >= len(pg.Cons)*9 {
+				// Timestamps decided >= 90%: solve only the residue.
+				rep.Phases.TSOrder = time.Since(tsStart)
+				return pg.checkTSResidue(ctx, opts, rep, tc, out, order, less, deadline, checkStart)
+			}
+			// Timestamps decide too little to carry assumptions — run the
+			// standard pipeline; the counters still report what they knew.
+			rep.Phases.TSOrder = time.Since(tsStart)
+		}
+	}
+
 	// Sound pre-solve resolution (resolve.go): discharge every constraint
 	// the known graph's transitive closure already decides, before any
 	// solver exists. Unlike the heuristic pruning below, everything this
@@ -297,7 +350,7 @@ func CheckPolygraphContext(ctx context.Context, pg *Polygraph, opts Options) *Re
 	cons, known := pg.Cons, pg.Known
 	if !opts.DisableResolve {
 		resolveStart := time.Now()
-		rr := resolvePolygraph(ctx, pg, out, order, opts.workers())
+		rr := resolvePolygraph(ctx, pg, pg.Cons, out, order, opts.workers())
 		rep.Phases.Resolve = time.Since(resolveStart)
 		if rr != nil {
 			rep.ResolvedConstraints = rr.resolved
@@ -343,7 +396,7 @@ func CheckPolygraphContext(ctx context.Context, pg *Polygraph, opts Options) *Re
 			rep.Outcome = Timeout
 			return rep
 		}
-		res := pg.attempt(ctx, opts, rep, cons, known, pos, k, deadline, checkStart)
+		res := pg.attempt(ctx, opts, rep, cons, known, pos, k, deadline, checkStart, nil)
 		switch res {
 		case sat.Sat:
 			rep.Outcome = Accept
@@ -368,9 +421,12 @@ func CheckPolygraphContext(ctx context.Context, pg *Polygraph, opts Options) *Re
 }
 
 // attempt runs one encode+solve round. k > 0 applies heuristic pruning at
-// stride k; k == 0 is exact. Canceling ctx interrupts the attempt's
-// solver(s); the attempt then reports Unknown.
-func (pg *Polygraph) attempt(ctx context.Context, opts Options, rep *Report, cons []Constraint, known []KnownEdge, pos []int32, k int, deadline time.Time, checkStart time.Time) sat.Result {
+// stride k; k == 0 is exact. assume holds constraint-side edges asserted
+// as theory constants beyond the known graph (the timestamp fast path's
+// chosen sides); with a non-empty assume, Unsat is only exact relative to
+// those assumptions. Canceling ctx interrupts the attempt's solver(s);
+// the attempt then reports Unknown.
+func (pg *Polygraph) attempt(ctx context.Context, opts Options, rep *Report, cons []Constraint, known []KnownEdge, pos []int32, k int, deadline time.Time, checkStart time.Time, assume []Edge) sat.Result {
 	attReg := opts.Tracer.Start("attempt")
 	attReg.SetAttr("k", int64(k))
 	defer attReg.End()
@@ -523,6 +579,9 @@ func (pg *Polygraph) attempt(ctx context.Context, opts Options, rep *Report, con
 			okSoFar = alloc.InsertConstant(ke.From, ke.To) && okSoFar
 		}
 		for _, e := range forced {
+			okSoFar = alloc.InsertConstant(e.From, e.To) && okSoFar
+		}
+		for _, e := range assume {
 			okSoFar = alloc.InsertConstant(e.From, e.To) && okSoFar
 		}
 		for _, e := range heuristic {

@@ -32,8 +32,12 @@ func TestCheckContextCancelMidSolve(t *testing.T) {
 	var signaled bool
 
 	opts := Options{
-		Level:            AdyaSI,
-		ProgressInterval: time.Nanosecond, // fire the callback on the first sampling tick
+		Level: AdyaSI,
+		// The timestamp fast path would accept this conformant history
+		// before any solver runs; this test is specifically about
+		// interrupting a running solve, so force the solver path.
+		DisableTSFastPath: true,
+		ProgressInterval:  time.Nanosecond, // fire the callback on the first sampling tick
 		// The callback runs synchronously on the solve goroutine, so it can
 		// brake the solver deterministically.
 		Progress: func(obs.Snapshot) {

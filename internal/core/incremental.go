@@ -147,6 +147,10 @@ type warmState struct {
 	// counters backing Report.ResolvedConstraints / ForcedEdges.
 	resolved    int
 	forcedEdges int
+	// tsDecided / tsResidual are the session-cumulative timestamp
+	// fast-path counters backing Report.TSDecided / TSResidual.
+	tsDecided  int
+	tsResidual int
 }
 
 // Incremental is a long-lived checking session over a growing history.
@@ -178,6 +182,17 @@ type Incremental struct {
 	// pendingWarm holds keys regenerated since the last warm encode.
 	pendingWarm      map[history.Key]bool
 	partitionChanged bool
+
+	// Timestamp fast-path state (tsorder.go). tsReason is the terminal
+	// unusability verdict ("" while every committed txn so far carries
+	// usable stamps); tsOrder holds the committed event nodes sorted by
+	// (timestamp, node id), maintained incrementally by updateTS with
+	// tsHigh the last ordered timestamp; tsDirty requests a cold rebuild
+	// after non-monotonic ingest.
+	tsReason string
+	tsOrder  []int32
+	tsHigh   int64
+	tsDirty  bool
 
 	warm     *warmState
 	rejected *Report // cached graph rejection (levels are prefix-closed)
@@ -385,6 +400,7 @@ func (inc *Incremental) update() {
 	}
 	newTxns := h.Txns[inc.indexed:]
 	inc.indexed = len(h.Txns)
+	inc.updateTS(newTxns)
 
 	// New committed writers first: they define which keys are new, which
 	// older range queries must retroactively observe.
@@ -868,6 +884,55 @@ encode:
 	}
 	rep.ResolvedConstraints, rep.ForcedEdges = w.resolved, w.forcedEdges
 
+	// Timestamp fast path, warm flavor (tsorder.go): classify the live
+	// constraints against the strict drift relation once per audit. With
+	// every live constraint decided and every constant edge forward in the
+	// maintained timestamp order, that order is a genuine compatible-graph
+	// witness — accept without touching the solver. Otherwise the decided
+	// sides join the solve below as assumptions; Unsat under them drops
+	// the timestamps and retries, so a verdict never rests on clock
+	// readings. Non-monotonic ingest left the order dirty in updateTS; the
+	// cold fallback re-sorts it here, once, before classification.
+	var tsChoice []uint8
+	if !opts.DisableTSFastPath && ctx.Err() == nil {
+		tsStart := time.Now()
+		if inc.tsReason != "" {
+			rep.TSUnusable = inc.tsReason
+		} else {
+			if inc.tsDirty {
+				inc.rebuildTSOrder()
+			}
+			tw := &tsWarm{h: h, ser: inc.ser(), drift: opts.ClockDrift.Nanoseconds()}
+			tsChoice = make([]uint8, len(w.consList))
+			decided, live := 0, 0
+			for i, st := range w.consList {
+				if st.resolved != consLive {
+					continue
+				}
+				live++
+				if first, ok := tw.choose(st); ok {
+					decided++
+					if first {
+						tsChoice[i] = tsChoiceFirst
+					} else {
+						tsChoice[i] = tsChoiceSecond
+					}
+				}
+			}
+			w.tsDecided += decided
+			w.tsResidual += live - decided
+			rep.TSDecided, rep.TSResidual = w.tsDecided, w.tsResidual
+			if decided == live && constantsForward(w.kinds, inc.tsOrderPositions(n)) {
+				rep.Phases.TSOrder = time.Since(tsStart)
+				rep.Outcome = Accept
+				rep.WitnessPositions = inc.tsWitness(n)
+				rep.selfCheck(&Polygraph{H: h, Level: opts.Level}, *opts)
+				return rep
+			}
+		}
+		rep.Phases.TSOrder = time.Since(tsStart)
+	}
+
 	solveStart := time.Now()
 	solReg := opts.Tracer.Start("solve")
 	w.s.SetDeadline(solveDeadline(ctx, *opts))
@@ -901,6 +966,29 @@ encode:
 		for i := range st.second {
 			w.s.AddClause(sat.PosLit(st.sel), sideLit(st.second, i))
 		}
+	}
+	// tsAssume asserts a timestamp-decided constraint's chosen side for
+	// one solve pass: selector polarity when the constraint already
+	// carries clauses, the side's edge literals directly when it does not
+	// (which satisfies the disjunction without encoding it — the same
+	// trick the radius pruning below plays).
+	tsAssume := func(st *consState, choice uint8, assumps []sat.Lit) []sat.Lit {
+		if choice == tsChoiceFirst {
+			if st.encoded {
+				return append(assumps, sat.PosLit(st.sel))
+			}
+			for i := range st.first {
+				assumps = append(assumps, sideLit(st.first, i))
+			}
+			return assumps
+		}
+		if st.encoded {
+			return append(assumps, sat.NegLit(st.sel))
+		}
+		for i := range st.second {
+			assumps = append(assumps, sideLit(st.second, i))
+		}
+		return assumps
 	}
 	// Solve-time progress sampling against the persistent solver. The hook
 	// runs synchronously on this goroutine from inside SolveAssuming, so
@@ -951,7 +1039,7 @@ encode:
 		}
 		passStart := time.Now()
 		assumps := w.assumpBuf[:0]
-		pruned := 0
+		pruned, tsAssumed := 0, 0
 		if k > 0 {
 			bad := func(side []sideEdge) bool {
 				for i := range side {
@@ -962,9 +1050,14 @@ encode:
 				}
 				return false
 			}
-			for _, st := range w.consList {
+			for ci, st := range w.consList {
 				if st.resolved != consLive {
 					continue // discharged by resolution
+				}
+				if tsChoice != nil && tsChoice[ci] != tsChoiceNone {
+					tsAssumed++
+					assumps = tsAssume(st, tsChoice[ci], assumps)
+					continue
 				}
 				fBad, sBad := bad(st.first), bad(st.second)
 				switch {
@@ -997,8 +1090,16 @@ encode:
 				}
 			}
 		} else {
-			for _, st := range w.consList {
-				if st.resolved == consLive && !st.encoded {
+			for ci, st := range w.consList {
+				if st.resolved != consLive {
+					continue
+				}
+				if tsChoice != nil && tsChoice[ci] != tsChoiceNone {
+					tsAssumed++
+					assumps = tsAssume(st, tsChoice[ci], assumps)
+					continue
+				}
+				if !st.encoded {
 					encodeCons(st)
 				}
 			}
@@ -1024,13 +1125,21 @@ encode:
 		rep.PrunedConstraints = pruned
 		encodeExtra += time.Since(passStart)
 		res = w.s.SolveAssuming(assumps...)
-		if res == sat.Unsat && w.s.Okay() && pruned > 0 {
-			// Unsatisfiable only under the pruning assumptions.
+		if res == sat.Unsat && w.s.Okay() && (pruned > 0 || tsAssumed > 0) {
+			// Unsatisfiable only under the pruning or timestamp
+			// assumptions. Timestamp choices may simply be wrong about
+			// this history, so they are dropped first — wholesale, since a
+			// clock inconsistent once is not worth trusting piecemeal —
+			// and only a clock-free Unsat escalates the pruning radius.
 			rep.Retries++
 			w.s.Relax()
-			k *= 2
-			if k >= int(n) {
-				k = 0 // final, exact attempt
+			if tsAssumed > 0 {
+				tsChoice = nil
+			} else {
+				k *= 2
+				if k >= int(n) {
+					k = 0 // final, exact attempt
+				}
 			}
 			continue
 		}

@@ -127,6 +127,17 @@ type Options struct {
 	// optimization — so this is an escape hatch and ablation knob.
 	DisableResolve bool
 
+	// DisableTSFastPath turns off the timestamp-assisted fast path
+	// (tsorder.go): validating constraints against the begin/commit order
+	// the history's timestamps imply (under ClockDrift, with the strict
+	// drift relation of realtime.go) and solving only the residue. The
+	// path is on by default and engages automatically when every
+	// committed transaction carries usable timestamps; it never changes
+	// verdicts — an accept requires a genuine order witness and an
+	// assumption failure falls back to the full pipeline — so this is an
+	// escape hatch and ablation knob.
+	DisableTSFastPath bool
+
 	// InitialK is the initial heuristic-pruning distance; 0 means the
 	// default (128 nodes). On rejection the checker doubles K and retries
 	// until K exceeds the node count (at which point no heuristic is

@@ -129,6 +129,71 @@ func TestRealTimeEdgesLinear(t *testing.T) {
 	}
 }
 
+// TestRealTimeDriftBoundary pins the clock-drift boundary of the
+// suffix-chain compression: the documented relation is strict —
+// ts(j) − ts(i) > ClockDrift — so a pair exactly drift apart must NOT be
+// ordered, one nanosecond past it must, and equal timestamps must never
+// relate in either direction. Pinned separately for the commit chain
+// (every event → later commit; GSI and up) and the begin suffix chain
+// (commit → later begin; StrongSI only), so tsorder.go and realtime.go
+// can never drift apart on boundary semantics.
+func TestRealTimeDriftBoundary(t *testing.T) {
+	two := func(b1, c1, b2, c2 int64) *history.History {
+		h := history.New()
+		h.Append(&history.Txn{Session: 0, BeginAt: b1, CommitAt: c1,
+			Ops: []history.Op{{Kind: history.OpWrite, Key: "a", WriteID: 1}}})
+		h.Append(&history.Txn{Session: 1, BeginAt: b2, CommitAt: c2,
+			Ops: []history.Op{{Kind: history.OpWrite, Key: "b", WriteID: 2}}})
+		if err := h.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	const drift = 10 * time.Nanosecond
+
+	// Commit chain (GSI): c(T1)=20 → c(T2). Delta == drift excluded,
+	// delta == drift+1 included.
+	h := two(1, 20, 2, 30) // c2 − c1 = 10 == drift
+	pg := Build(h, Options{Level: GSI, ClockDrift: drift})
+	if rtReach(pg)(pg.Commit(1), pg.Commit(2)) {
+		t.Fatal("commit chain: delta == drift created an edge (relation must be strict)")
+	}
+	h = two(1, 20, 2, 31) // c2 − c1 = 11 > drift
+	pg = Build(h, Options{Level: GSI, ClockDrift: drift})
+	if !rtReach(pg)(pg.Commit(1), pg.Commit(2)) {
+		t.Fatal("commit chain: delta == drift+1 missing its edge")
+	}
+
+	// Equal commit timestamps: no order in either direction, any drift.
+	h = two(1, 20, 2, 20)
+	for _, d := range []time.Duration{0, drift} {
+		pg = Build(h, Options{Level: GSI, ClockDrift: d})
+		reach := rtReach(pg)
+		if reach(pg.Commit(1), pg.Commit(2)) || reach(pg.Commit(2), pg.Commit(1)) {
+			t.Fatalf("equal commit timestamps ordered under drift %v", d)
+		}
+	}
+
+	// Begin suffix chain (StrongSI): c(T1)=20 → b(T2). Same strictness.
+	h = two(1, 20, 30, 40) // b2 − c1 = 10 == drift
+	pg = Build(h, Options{Level: StrongSI, ClockDrift: drift})
+	if rtReach(pg)(pg.Commit(1), pg.Begin(2)) {
+		t.Fatal("begin chain: delta == drift created an edge (relation must be strict)")
+	}
+	h = two(1, 20, 31, 40) // b2 − c1 = 11 > drift
+	pg = Build(h, Options{Level: StrongSI, ClockDrift: drift})
+	if !rtReach(pg)(pg.Commit(1), pg.Begin(2)) {
+		t.Fatal("begin chain: delta == drift+1 missing its edge")
+	}
+
+	// Equal commit/begin timestamps on the begin chain: unordered.
+	h = two(1, 20, 20, 40)
+	pg = Build(h, Options{Level: StrongSI, ClockDrift: 0})
+	if rtReach(pg)(pg.Commit(1), pg.Begin(2)) {
+		t.Fatal("begin chain: equal timestamps ordered")
+	}
+}
+
 // TestAdyaSIIgnoresTimestamps: with wildly drifting clocks, Adya SI (a
 // logical-time level) must not care.
 func TestAdyaSIIgnoresTimestamps(t *testing.T) {

@@ -53,6 +53,9 @@ func BuildReportDoc(tool, path string, h *history.History, parse time.Duration, 
 		EdgeVars:            rep.EdgeVars,
 		ResolvedConstraints: rep.ResolvedConstraints,
 		ForcedEdges:         rep.ForcedEdges,
+		TSDecided:           rep.TSDecided,
+		TSResidual:          rep.TSResidual,
+		TSUnusable:          rep.TSUnusable,
 		PrunedConstraints:   rep.PrunedConstraints,
 		HeuristicEdges:      rep.HeuristicEdges,
 		Retries:             rep.Retries,
@@ -65,6 +68,7 @@ func BuildReportDoc(tool, path string, h *history.History, parse time.Duration, 
 		ConstructCPUNS: int64(rep.Phases.ConstructCPU),
 		EncodeNS:       int64(rep.Phases.Encode),
 		ResolveNS:      int64(rep.Phases.Resolve),
+		TSOrderNS:      int64(rep.Phases.TSOrder),
 		SolveNS:        int64(rep.Phases.Solve),
 	}
 	doc.Solver = obs.SolverInfo{

@@ -371,13 +371,16 @@ const (
 	resolveCheapBatch = 64 // staged batches this small always fold (refresh is near-free)
 )
 
-// resolvePolygraph runs the sound resolution fixpoint for the batch path.
+// resolvePolygraph runs the sound resolution fixpoint for the batch path
+// over consIn (usually pg.Cons; the timestamp fast path passes just its
+// residue — forcing from a constraint subset is still exact, every
+// forced edge holds in every compatible graph of the full polygraph).
 // out is the known graph's adjacency (it is extended in place with forced
 // edges, so the caller can re-derive a topological order afterwards);
 // order is a topological order of it. Returns nil when the pass declined
 // to run (closure over budget) or ctx expired mid-pass — the caller then
 // proceeds exactly as before the pass existed.
-func resolvePolygraph(ctx context.Context, pg *Polygraph, out [][]int32, order []int32, workers int) *resolveResult {
+func resolvePolygraph(ctx context.Context, pg *Polygraph, consIn []Constraint, out [][]int32, order []int32, workers int) *resolveResult {
 	n := int(pg.NumNodes)
 	if !closureFeasible(n, n) {
 		return nil
@@ -394,8 +397,8 @@ func resolvePolygraph(ctx context.Context, pg *Polygraph, out [][]int32, order [
 	cl.build(order, workers)
 
 	res := &resolveResult{}
-	cons := make([]Constraint, len(pg.Cons))
-	copy(cons, pg.Cons)
+	cons := make([]Constraint, len(consIn))
+	copy(cons, consIn)
 	alive := make([]bool, len(cons))
 	for i := range alive {
 		alive[i] = true

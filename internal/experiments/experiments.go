@@ -42,6 +42,10 @@ type Config struct {
 	// Parallelism is the polygraph-construction worker count passed to
 	// every viper invocation (0 = GOMAXPROCS, 1 = serial).
 	Parallelism int
+	// DisableTSFastPath turns the timestamp-assisted fast path off for
+	// every viper invocation (the tsfastpath experiment ignores this and
+	// runs its own on/off pair).
+	DisableTSFastPath bool
 }
 
 func (c Config) clients() int {
@@ -152,7 +156,7 @@ func Fig8(cfg Config) (*Table, error) {
 		Header: []string{"#txns", "Viper", "GSI+SAT", "ASI+SAT", "ASI+Mono", "ASI+Mono+Opt"},
 	}
 	checkers := []baseline.Checker{
-		&baseline.Viper{Opts: core.Options{Level: core.AdyaSI, Parallelism: cfg.Parallelism}},
+		&baseline.Viper{Opts: core.Options{Level: core.AdyaSI, Parallelism: cfg.Parallelism, DisableTSFastPath: cfg.DisableTSFastPath}},
 		&baseline.GSISat{},
 		&baseline.ASISat{},
 		&baseline.ASIMono{},
@@ -181,7 +185,7 @@ func Fig9(cfg Config) (*Table, error) {
 		Title:  "viper vs Elle on Jepsen list-append (seconds)",
 		Header: []string{"#txns", "Viper", "Elle", "viper-constraints"},
 	}
-	viper := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI, Parallelism: cfg.Parallelism}}
+	viper := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI, Parallelism: cfg.Parallelism, DisableTSFastPath: cfg.DisableTSFastPath}}
 	elle := &baseline.Elle{Mode: baseline.ElleSound}
 	for _, size := range cfg.sizes([]int{500, 1000, 2000, 4000, 8000}) {
 		h, err := genHistory(workload.NewAppend(), size, cfg, int64(size))
@@ -239,7 +243,7 @@ func Fig10(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		parse := time.Since(parseStart)
-		rep := core.CheckHistory(h, core.Options{Level: core.AdyaSI, Timeout: cfg.timeout(), Parallelism: cfg.Parallelism})
+		rep := core.CheckHistory(h, core.Options{Level: core.AdyaSI, Timeout: cfg.timeout(), Parallelism: cfg.Parallelism, DisableTSFastPath: cfg.DisableTSFastPath})
 		total := parse + rep.Phases.Construct + rep.Phases.Encode + rep.Phases.Solve
 		t.Rows = append(t.Rows, []string{
 			gen.Name(), secs(total), secs(parse),

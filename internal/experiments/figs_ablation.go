@@ -78,7 +78,7 @@ func Fig12(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			v := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI, Parallelism: cfg.Parallelism}}
+			v := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI, Parallelism: cfg.Parallelism, DisableTSFastPath: cfg.DisableTSFastPath}}
 			res := v.Check(h, cfg.timeout())
 			c := cell(res)
 			if size == largest {
@@ -175,7 +175,7 @@ func Fig14(cfg Config) (*Table, error) {
 		if err := h.Validate(); err != nil {
 			verdict, elapsed = "reject", time.Since(start)
 		} else {
-			v := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI, Parallelism: cfg.Parallelism}}
+			v := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI, Parallelism: cfg.Parallelism, DisableTSFastPath: cfg.DisableTSFastPath}}
 			res := v.Check(h, cfg.timeout())
 			verdict, elapsed = res.Outcome.String(), res.Elapsed
 		}
@@ -209,7 +209,7 @@ func Fig15(cfg Config) (*Table, error) {
 			}
 			elle := &baseline.Elle{Mode: baseline.ElleInferred}
 			re := elle.Check(h, cfg.timeout())
-			v := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI, Parallelism: cfg.Parallelism}}
+			v := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI, Parallelism: cfg.Parallelism, DisableTSFastPath: cfg.DisableTSFastPath}}
 			rv := v.Check(h, cfg.timeout())
 			t.Rows = append(t.Rows, []string{
 				fmt.Sprint(size), kind.String(),
@@ -234,11 +234,12 @@ func All() map[string]func(Config) (*Table, error) {
 		"fig15": Fig15,
 
 		// Repo-local ablations (not paper figures).
-		"resolve": Resolve,
+		"resolve":    Resolve,
+		"tsfastpath": TSFastPath,
 	}
 }
 
 // Order lists experiments in paper order.
 func Order() []string {
-	return []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "resolve"}
+	return []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "resolve", "tsfastpath"}
 }

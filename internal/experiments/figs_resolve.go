@@ -69,8 +69,8 @@ func Resolve(cfg Config) (*Table, error) {
 					return nil, err
 				}
 			}
-			on := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI, Parallelism: cfg.Parallelism}}
-			off := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI, Parallelism: cfg.Parallelism, DisableResolve: true}}
+			on := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI, Parallelism: cfg.Parallelism, DisableTSFastPath: cfg.DisableTSFastPath}}
+			off := &baseline.Viper{Opts: core.Options{Level: core.AdyaSI, Parallelism: cfg.Parallelism, DisableResolve: true, DisableTSFastPath: cfg.DisableTSFastPath}}
 			ron := on.Check(h, cfg.timeout())
 			roff := off.Check(h, cfg.timeout())
 			if ron.Outcome != roff.Outcome {

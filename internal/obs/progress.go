@@ -36,7 +36,12 @@ type Snapshot struct {
 	PrunedConstraints   int `json:"pruned_constraints"`
 	ResolvedConstraints int `json:"resolved_constraints"`
 	ForcedEdges         int `json:"forced_edges"`
-	EdgeVars            int `json:"edge_vars"`
+	// TSDecided/TSResidual mirror the Report fields: constraints the
+	// timestamp fast path decided from the history's begin/commit stamps
+	// versus left for the solver.
+	TSDecided  int `json:"ts_decided"`
+	TSResidual int `json:"ts_residual"`
+	EdgeVars   int `json:"edge_vars"`
 
 	// Solver counters (sat.Stats).
 	Conflicts    int64 `json:"conflicts"`
@@ -60,11 +65,11 @@ type Snapshot struct {
 // String renders the snapshot as a single machine-grepable progress line.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"phase=%s audit=%d txns=%d elapsed=%.3fs conflicts=%d decisions=%d props=%d learnts=%d restarts=%d thconfl=%d reorders=%d pruned=%d resolved=%d forced=%d edgevars=%d heap=%.1fMB",
+		"phase=%s audit=%d txns=%d elapsed=%.3fs conflicts=%d decisions=%d props=%d learnts=%d restarts=%d thconfl=%d reorders=%d pruned=%d resolved=%d forced=%d tsdec=%d tsres=%d edgevars=%d heap=%.1fMB",
 		s.Phase, s.Audit, s.Txns, float64(s.ElapsedNS)/1e9,
 		s.Conflicts, s.Decisions, s.Propagations, s.Learnts, s.Restarts,
 		s.TheoryConfl, s.Reorders, s.PrunedConstraints, s.ResolvedConstraints,
-		s.ForcedEdges, s.EdgeVars, float64(s.HeapInUse)/(1<<20))
+		s.ForcedEdges, s.TSDecided, s.TSResidual, s.EdgeVars, float64(s.HeapInUse)/(1<<20))
 }
 
 // HeapInUse reads the live heap size. It is only called on sampling ticks

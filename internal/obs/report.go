@@ -50,11 +50,18 @@ type GraphInfo struct {
 	EdgeVars            int `json:"edge_vars"`
 	ResolvedConstraints int `json:"resolved_constraints"`
 	ForcedEdges         int `json:"forced_edges"`
-	PrunedConstraints   int `json:"pruned_constraints"`
-	HeuristicEdges      int `json:"heuristic_edges"`
-	Retries             int `json:"retries"`
-	FinalK              int `json:"final_k"`
-	ConstructWorkers    int `json:"construct_workers"`
+	// TSDecided/TSResidual count the constraints the timestamp fast path
+	// decided from the history's begin/commit stamps versus left for the
+	// solver; TSUnusable carries the reason the fast path declined to run
+	// (empty when it ran or was disabled).
+	TSDecided         int    `json:"ts_decided"`
+	TSResidual        int    `json:"ts_residual"`
+	TSUnusable        string `json:"ts_unusable,omitempty"`
+	PrunedConstraints int    `json:"pruned_constraints"`
+	HeuristicEdges    int    `json:"heuristic_edges"`
+	Retries           int    `json:"retries"`
+	FinalK            int    `json:"final_k"`
+	ConstructWorkers  int    `json:"construct_workers"`
 }
 
 // PhaseInfo is the Figure 10 runtime decomposition in nanoseconds.
@@ -64,6 +71,7 @@ type PhaseInfo struct {
 	ConstructCPUNS int64 `json:"construct_cpu_ns"`
 	EncodeNS       int64 `json:"encode_ns"`
 	ResolveNS      int64 `json:"resolve_ns"`
+	TSOrderNS      int64 `json:"ts_order_ns"`
 	SolveNS        int64 `json:"solve_ns"`
 }
 

@@ -7,12 +7,38 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"viper/internal/histio"
 	"viper/internal/obs"
 )
+
+// retryAfterSeconds parses a Retry-After header value. RFC 9110 §10.2.3
+// allows two forms: a non-negative decimal span of seconds, and an
+// HTTP-date after which the client may retry. viperd itself always sends
+// seconds, but this client may sit behind proxies that rewrite the
+// header to a date; treating that as "no backoff" would turn a polite
+// 429 into a hammering loop. A date already in the past (or a value in
+// neither form) means no wait.
+func retryAfterSeconds(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if n, err := strconv.Atoi(h); err == nil {
+		if n < 0 {
+			return 0
+		}
+		return time.Duration(n) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
 
 // Client is the Go client for a viperd server. It speaks the whole API:
 // session lifecycle, streaming append, audits, progress, metrics and

@@ -1,0 +1,46 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterSeconds pins both RFC 9110 §10.2.3 forms of Retry-After:
+// delay-seconds and HTTP-date. viperd sends seconds, but proxies in
+// front of it may rewrite the header to a date; before the date form was
+// parsed, that silently became "no backoff".
+func TestRetryAfterSeconds(t *testing.T) {
+	now := time.Now()
+	cases := []struct {
+		name string
+		h    string
+		min  time.Duration
+		max  time.Duration
+	}{
+		{name: "empty", h: "", min: 0, max: 0},
+		{name: "zero seconds", h: "0", min: 0, max: 0},
+		{name: "seconds", h: "7", min: 7 * time.Second, max: 7 * time.Second},
+		{name: "negative seconds", h: "-3", min: 0, max: 0},
+		// HTTP-date one minute out: the parsed wait is measured from
+		// time.Now() inside the call, so allow the call's own latency.
+		{name: "http-date future", h: now.Add(time.Minute).UTC().Format(http.TimeFormat),
+			min: 50 * time.Second, max: time.Minute},
+		{name: "http-date past", h: now.Add(-time.Minute).UTC().Format(http.TimeFormat),
+			min: 0, max: 0},
+		// RFC 850 and asctime are the other two dates http.ParseTime reads.
+		{name: "rfc850 future", h: now.Add(time.Minute).UTC().Format("Monday, 02-Jan-06 15:04:05 GMT"),
+			min: 50 * time.Second, max: time.Minute},
+		{name: "asctime future", h: now.Add(time.Minute).UTC().Format(time.ANSIC),
+			min: 50 * time.Second, max: time.Minute},
+		{name: "garbage", h: "soon", min: 0, max: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := retryAfterSeconds(tc.h)
+			if got < tc.min || got > tc.max {
+				t.Fatalf("retryAfterSeconds(%q) = %v, want in [%v, %v]", tc.h, got, tc.min, tc.max)
+			}
+		})
+	}
+}

@@ -32,7 +32,6 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -562,6 +561,12 @@ func (s *Server) handleAudit(w http.ResponseWriter, req *http.Request) {
 		if d := int64(rep.ForcedEdges) - sess.forcedSeen.Swap(int64(rep.ForcedEdges)); d > 0 {
 			s.metrics.Add("viperd_forced_edges_total", d)
 		}
+		if d := int64(rep.TSDecided) - sess.tsDecidedSeen.Swap(int64(rep.TSDecided)); d > 0 {
+			s.metrics.Add("viperd_ts_decided_total", d)
+		}
+		if d := int64(rep.TSResidual) - sess.tsResidualSeen.Swap(int64(rep.TSResidual)); d > 0 {
+			s.metrics.Add("viperd_ts_residual_total", d)
+		}
 	}
 	if res.Outcome == core.Timeout && ctx.Err() != nil {
 		// The request deadline (or the client's disconnect) interrupted the
@@ -617,15 +622,4 @@ func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	s.metrics.Set("viperd_audit_queue_depth", s.waiting.Load())
 	s.metrics.Set("viperd_audit_workers_busy", int64(len(s.tokens)))
 	s.metrics.WriteText(w)
-}
-
-// retryAfterSeconds parses a Retry-After header value (client side).
-func retryAfterSeconds(h string) time.Duration {
-	if h == "" {
-		return 0
-	}
-	if n, err := strconv.Atoi(h); err == nil {
-		return time.Duration(n) * time.Second
-	}
-	return 0
 }

@@ -57,6 +57,9 @@ type session struct {
 	// sessions without double-counting the session-lifetime totals.
 	resolvedSeen atomic.Int64
 	forcedSeen   atomic.Int64
+	// Same pattern for the timestamp fast path's cumulative counters.
+	tsDecidedSeen  atomic.Int64
+	tsResidualSeen atomic.Int64
 }
 
 func newSession(id string, opts core.Options, maxOps int) *session {
