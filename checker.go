@@ -24,14 +24,66 @@ import (
 // validation, by contrast, can resolve itself when the missing write
 // arrives, so appending after any rejection is allowed.
 type Checker struct {
-	opts Options
-	inc  *core.Incremental
+	opts   Options
+	inc    *core.Incremental
+	policy CheckpointPolicy
 }
 
 // NewChecker starts an empty checking session with the given options.
 func NewChecker(opts Options) *Checker {
 	return &Checker{opts: opts, inc: core.NewIncremental(opts)}
 }
+
+// CheckpointPolicy makes a session checkpoint itself: after every
+// accepting audit whose live window crosses a threshold, the checked
+// prefix is compacted into a certificate (see Checker.Checkpoint) and its
+// memory reclaimed. The zero policy disables auto-checkpointing.
+type CheckpointPolicy struct {
+	// EveryTxns checkpoints when the live window holds at least this many
+	// transactions (0 disables the transaction trigger).
+	EveryTxns int
+	// MaxLiveOps checkpoints when the live window holds at least this many
+	// operations (0 disables the operation trigger) — the memory-watermark
+	// flavor, since session footprint is proportional to live ops.
+	MaxLiveOps int
+	// Keep is how many of the most recent transactions stay live at each
+	// checkpoint. Default: EveryTxns/4 (or a quarter of the window when
+	// only MaxLiveOps is set), so consecutive checkpoints amortize.
+	Keep int
+}
+
+// active reports whether any trigger is configured.
+func (p CheckpointPolicy) active() bool { return p.EveryTxns > 0 || p.MaxLiveOps > 0 }
+
+// SetCheckpointPolicy installs (or, with the zero policy, removes) the
+// session's auto-checkpoint policy. Only AdyaSI and Serializability
+// sessions can checkpoint; for other levels audits report the policy's
+// failure in Result.CheckpointErr.
+func (c *Checker) SetCheckpointPolicy(p CheckpointPolicy) { c.policy = p }
+
+// Checkpoint compacts the checked prefix into a certificate, keeping the
+// most recent keep transactions live (the boundary can move earlier to
+// keep the fence clean — see core.Incremental.Checkpoint). It requires
+// the most recent audit to have accepted everything appended so far, and
+// returns how many transactions were compacted. External transaction ids
+// remain stable: violations found after checkpoints name the same
+// transactions the unbounded session would.
+func (c *Checker) Checkpoint(keep int) (int, error) { return c.inc.Checkpoint(keep) }
+
+// Certificate returns a summary of the session's checkpoint certificate
+// (zero value before the first checkpoint).
+func (c *Checker) Certificate() Certificate { return c.inc.Certificate() }
+
+// LiveOps returns the operation count of the live (uncompacted) window.
+func (c *Checker) LiveOps() int64 { return c.inc.LiveOps() }
+
+// LifetimeLen returns the total number of transactions ever appended,
+// including compacted ones.
+func (c *Checker) LifetimeLen() int { return c.inc.Len() + c.inc.Certificate().FencedTxns }
+
+// LifetimeOps returns the total number of operations ever appended,
+// including compacted ones.
+func (c *Checker) LifetimeOps() int64 { return c.inc.LiveOps() + c.inc.Certificate().FencedOps }
 
 // Append adds transactions to the session's history, assigning their ids
 // in order; the caller keeps ownership of the passed structs (they are
@@ -57,6 +109,10 @@ func (c *Checker) Len() int { return c.inc.Len() }
 func (c *Checker) History() *History {
 	src := c.inc.History()
 	h := history.New()
+	// The certificate is immutable once installed, so snapshots share it;
+	// a snapshot of a checkpointed session is the live window plus fence.
+	// (Persisting such a snapshot with histio keeps only the live window.)
+	h.SetFence(src.Fence())
 	for _, t := range src.Txns[1:] {
 		t2 := *t
 		h.Append(&t2)
@@ -91,5 +147,17 @@ func (c *Checker) AuditContext(ctx context.Context) *Result {
 	}
 	parse := time.Since(start)
 	rep := c.inc.AuditContext(ctx)
-	return &Result{Outcome: rep.Outcome, Report: rep, ParseTime: parse}
+	res := &Result{Outcome: rep.Outcome, Report: rep, ParseTime: parse}
+	if rep.Outcome == Accept && c.policy.active() &&
+		(c.policy.EveryTxns > 0 && c.inc.Len() >= c.policy.EveryTxns ||
+			c.policy.MaxLiveOps > 0 && c.inc.LiveOps() >= int64(c.policy.MaxLiveOps)) {
+		keep := c.policy.Keep
+		if keep <= 0 {
+			if keep = c.policy.EveryTxns / 4; keep <= 0 {
+				keep = c.inc.Len() / 4
+			}
+		}
+		res.Compacted, res.CheckpointErr = c.inc.Checkpoint(keep)
+	}
+	return res
 }

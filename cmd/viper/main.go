@@ -76,6 +76,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		every       = fs.Int("every", 1000, "with -follow: re-audit after this many new transactions")
 		interval    = fs.Duration("interval", time.Second, "with -follow: re-audit at least this often while new transactions arrive")
 		idleExit    = fs.Duration("idle-exit", 0, "with -follow: exit with the last verdict after this long without new data (0 = follow forever)")
+		cpEvery     = fs.Int("checkpoint-every", 0, "with -follow: compact the checked prefix into a certificate after accepting audits once the live window holds this many txns (0 = unbounded)")
+		maxLiveOps  = fs.Int("max-live-ops", 0, "with -follow: compact once the live window holds this many ops (0 = unbounded)")
 		reportJSON  = fs.String("report-json", "", "write the versioned machine-readable report as JSON to this path (\"-\" = stdout, suppressing the human-readable output)")
 		traceOut    = fs.String("trace-out", "", "record phase-scoped spans and write the trace as JSON to this path (\"-\" = stdout)")
 		progress    = fs.Duration("progress", 0, "stream progress lines to stderr at this interval while checking (0 = off)")
@@ -143,7 +145,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *follow {
-		return runFollow(fs.Arg(0), opts, *every, *interval, *idleExit,
+		policy := viper.CheckpointPolicy{EveryTxns: *cpEvery, MaxLiveOps: *maxLiveOps}
+		return runFollow(fs.Arg(0), opts, *every, *interval, *idleExit, policy,
 			*reportJSON, *traceOut, stdout, stderr)
 	}
 
@@ -256,7 +259,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // checked levels are prefix-closed) and exits immediately with the reject
 // code. With idleExit > 0, the process performs a final audit and exits
 // with its verdict after that long without new data.
-func runFollow(path string, opts core.Options, every int, interval, idleExit time.Duration, reportJSON, traceOut string, stdout, stderr io.Writer) int {
+func runFollow(path string, opts core.Options, every int, interval, idleExit time.Duration, policy viper.CheckpointPolicy, reportJSON, traceOut string, stdout, stderr io.Writer) int {
 	if every < 1 {
 		every = 1
 	}
@@ -270,6 +273,7 @@ func runFollow(path string, opts core.Options, every int, interval, idleExit tim
 	dec := histio.NewDecoder(f)
 	dec.SetTail(true)
 	c := viper.NewChecker(opts)
+	c.SetCheckpointPolicy(policy)
 
 	poll := interval / 10
 	if poll <= 0 || poll > 100*time.Millisecond {
@@ -304,18 +308,24 @@ func runFollow(path string, opts core.Options, every int, interval, idleExit tim
 		switch {
 		case res.Violation != nil:
 			// Transient in a live stream: keep following.
-			fmt.Fprintf(stdout, "audit %d txns: pending (validation: %v)\n", c.Len(), res.Violation)
+			fmt.Fprintf(stdout, "audit %d txns: pending (validation: %v)\n", c.LifetimeLen(), res.Violation)
 			return 0, false
 		case res.Outcome == viper.Reject:
-			fmt.Fprintf(stdout, "audit %d txns: reject\n", c.Len())
+			fmt.Fprintf(stdout, "audit %d txns: reject\n", c.LifetimeLen())
 			printCounterexample(stdout, c.History(), res.Report, opts)
 			return exitReject, true
 		case res.Outcome == viper.Timeout:
-			fmt.Fprintf(stdout, "audit %d txns: timeout\n", c.Len())
+			fmt.Fprintf(stdout, "audit %d txns: timeout\n", c.LifetimeLen())
 			return exitTimeout, true
 		default:
 			fmt.Fprintf(stdout, "audit %d txns: accept (construct %.3fs, solve %.3fs)\n",
-				c.Len(), res.Report.Phases.Construct.Seconds(), res.Report.Phases.Solve.Seconds())
+				c.LifetimeLen(), res.Report.Phases.Construct.Seconds(), res.Report.Phases.Solve.Seconds())
+			if res.CheckpointErr != nil {
+				fmt.Fprintf(stderr, "viper: checkpoint skipped: %v\n", res.CheckpointErr)
+			} else if res.Compacted > 0 {
+				fmt.Fprintf(stdout, "checkpoint: compacted %d txns (%d live, cert %.1fKB)\n",
+					res.Compacted, c.Len(), float64(c.Certificate().Bytes)/1024)
+			}
 			return exitAccept, false
 		}
 	}

@@ -7,7 +7,7 @@
 //
 //	viperd [-addr 127.0.0.1:7457] [-max-sessions 64] [-max-session-ops N]
 //	       [-idle-ttl 15m] [-audit-timeout 60s] [-workers N] [-queue-depth N]
-//	       [-quiet]
+//	       [-checkpoint-every N] [-max-live-ops N] [-quiet]
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight audits
 // drain (bounded by -shutdown-grace), then the listener closes.
@@ -50,6 +50,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		auditTimeout  = fs.Duration("audit-timeout", 0, "per-audit deadline (default 60s, <0 unbounded)")
 		workers       = fs.Int("workers", 0, "concurrent audit workers (default GOMAXPROCS)")
 		queueDepth    = fs.Int("queue-depth", 0, "audits allowed to queue before 429 (default 2*workers)")
+		cpEvery       = fs.Int("checkpoint-every", 0, "default session checkpoint policy: compact after accepting audits once the live window holds this many txns (0 disables)")
+		maxLiveOps    = fs.Int("max-live-ops", 0, "default session checkpoint policy: compact once the live window holds this many ops (0 disables)")
 		shutdownGrace = fs.Duration("shutdown-grace", 30*time.Second, "max time to drain in-flight audits on shutdown")
 		quiet         = fs.Bool("quiet", false, "suppress per-request logging")
 		showVersion   = fs.Bool("version", false, "print version and exit")
@@ -64,13 +66,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	logger := log.New(stderr, "viperd: ", log.LstdFlags)
 	cfg := server.Config{
-		MaxSessions:   *maxSessions,
-		MaxSessionOps: *maxSessionOps,
-		IdleTTL:       *idleTTL,
-		AuditTimeout:  *auditTimeout,
-		Workers:       *workers,
-		QueueDepth:    *queueDepth,
-		Logger:        logger,
+		MaxSessions:     *maxSessions,
+		MaxSessionOps:   *maxSessionOps,
+		IdleTTL:         *idleTTL,
+		AuditTimeout:    *auditTimeout,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CheckpointEvery: *cpEvery,
+		MaxLiveOps:      *maxLiveOps,
+		Logger:          logger,
 	}
 	if *quiet {
 		cfg.Logger = nil

@@ -157,6 +157,20 @@ type Report struct {
 	// would indicate a checker bug).
 	WitnessVerified bool
 	SelfCheckErr    error
+
+	// Session memory gauges, stamped by Incremental at the end of every
+	// audit (zero on reports that never passed through a session). These
+	// are what checkpointing bounds: LiveTxns and HistoryBytes cover the
+	// live window, ClosureBytes the resolution closure's materialized
+	// rows. Checkpoints/FencedTxns/CertBytes/TxnIDBase describe the
+	// checkpoint certificate carried in place of the compacted prefix.
+	LiveTxns     int
+	HistoryBytes int64
+	ClosureBytes int64
+	Checkpoints  int
+	FencedTxns   int
+	CertBytes    int64
+	TxnIDBase    int64
 }
 
 // Snapshot renders the report's counters as a final ("done") progress
@@ -181,6 +195,10 @@ func (rep *Report) Snapshot() obs.Snapshot {
 		TheoryConfl:         rep.Solver.TheoryConfl,
 		Reorders:            rep.Reorders,
 		ReorderedNodes:      rep.ReorderedNodes,
+		HistoryBytes:        rep.HistoryBytes,
+		ClosureBytes:        rep.ClosureBytes,
+		Checkpoints:         rep.Checkpoints,
+		CertBytes:           rep.CertBytes,
 	}
 }
 

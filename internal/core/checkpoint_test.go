@@ -1,0 +1,291 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"viper/internal/histgen"
+	"viper/internal/history"
+)
+
+func TestCheckpointPreconditions(t *testing.T) {
+	h := histgen.SI(histgen.Spec{Txns: 20, Seed: 1})
+
+	// Real-time levels cannot fence.
+	inc := NewIncremental(Options{Level: GSI})
+	if _, err := inc.Checkpoint(4); err == nil || !strings.Contains(err.Error(), "real-time") {
+		t.Fatalf("GSI checkpoint err = %v", err)
+	}
+
+	// No accepting audit yet.
+	inc = NewIncremental(Options{Level: AdyaSI})
+	inc.mustAudit(t, h.Txns[1:11]...)
+	if rep := inc.Audit(); rep.Outcome != Accept {
+		t.Fatalf("audit: %v", rep.Outcome)
+	}
+	fresh := NewIncremental(Options{Level: AdyaSI})
+	for _, tx := range h.Txns[1:11] {
+		t2 := *tx
+		fresh.Append(&t2)
+	}
+	if _, err := fresh.Checkpoint(2); err == nil || !strings.Contains(err.Error(), "accepting audit") {
+		t.Fatalf("unaudited checkpoint err = %v", err)
+	}
+
+	// Transactions appended since the last audit invalidate the witness
+	// (Append drops the accepting report).
+	t2 := *h.Txns[11]
+	inc.Append(&t2)
+	if _, err := inc.Checkpoint(2); err == nil || !strings.Contains(err.Error(), "accepting audit") {
+		t.Fatalf("stale-audit checkpoint err = %v", err)
+	}
+
+	// keep covering the whole window is a no-op, not an error.
+	inc2 := NewIncremental(Options{Level: AdyaSI})
+	inc2.mustAudit(t, h.Txns[1:11]...)
+	if n, err := inc2.Checkpoint(1000); n != 0 || err != nil {
+		t.Fatalf("oversized keep: n=%d err=%v", n, err)
+	}
+}
+
+func TestCheckpointAfterRejectRefused(t *testing.T) {
+	h := longFork(t)
+	inc := NewIncremental(Options{Level: AdyaSI})
+	if rep := inc.mustAudit(t, h.Txns[1:]...); rep.Outcome != Reject {
+		t.Fatalf("long fork: %v", rep.Outcome)
+	}
+	if _, err := inc.Checkpoint(1); err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("post-reject checkpoint err = %v", err)
+	}
+}
+
+// TestCheckpointDifferentialGenerated streams generated SI histories
+// through a checkpointing session and an unbounded one, auditing in
+// lockstep: verdicts must agree at every audit, the compacted session's
+// live window must stay bounded, and the certificate's books must balance.
+func TestCheckpointDifferentialGenerated(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		h := histgen.SI(histgen.Spec{Txns: 400, Keys: 24, MaxConcurrency: 4, AbortEvery: 9, Seed: seed})
+		cp := NewIncremental(Options{Level: AdyaSI, SelfCheck: true})
+		unb := NewIncremental(Options{Level: AdyaSI, SelfCheck: true})
+
+		const chunk, keep = 50, 32
+		for lo := 1; lo < len(h.Txns); lo += chunk {
+			hi := lo + chunk
+			if hi > len(h.Txns) {
+				hi = len(h.Txns)
+			}
+			rcp := cp.mustAudit(t, h.Txns[lo:hi]...)
+			runb := unb.mustAudit(t, h.Txns[lo:hi]...)
+			if rcp.Outcome != runb.Outcome {
+				t.Fatalf("seed %d @%d: checkpointed=%v unbounded=%v", seed, hi, rcp.Outcome, runb.Outcome)
+			}
+			if rcp.SelfCheckErr != nil {
+				t.Fatalf("seed %d @%d: witness self-check: %v", seed, hi, rcp.SelfCheckErr)
+			}
+			if _, err := cp.Checkpoint(keep); err != nil {
+				t.Fatalf("seed %d @%d: checkpoint: %v", seed, hi, err)
+			}
+			// Flip-free: the compacted window must re-accept immediately.
+			if rep := cp.mustAudit(t); rep.Outcome != Accept {
+				t.Fatalf("seed %d @%d: post-checkpoint audit: %v", seed, hi, rep.Outcome)
+			}
+		}
+
+		cert := cp.Certificate()
+		if cert.Checkpoints == 0 {
+			t.Fatalf("seed %d: no checkpoint ever compacted", seed)
+		}
+		if cert.FencedTxns+cp.Len() != h.Len() {
+			t.Fatalf("seed %d: fenced %d + live %d != total %d", seed, cert.FencedTxns, cp.Len(), h.Len())
+		}
+		if int64(cp.Len()) != int64(unb.Len())-int64(cert.FencedTxns) {
+			t.Fatalf("seed %d: live window bookkeeping off", seed)
+		}
+		if cp.Len() >= h.Len()/2 {
+			t.Fatalf("seed %d: live window %d of %d — compaction ineffective", seed, cp.Len(), h.Len())
+		}
+		if cert.TxnIDBase != int64(cert.FencedTxns) {
+			t.Fatalf("seed %d: TxnIDBase %d != fenced txns %d", seed, cert.TxnIDBase, cert.FencedTxns)
+		}
+	}
+}
+
+// TestCheckpointStraddleReject: a read appended after a checkpoint that
+// observes a superseded pre-fence version rejects with the dedicated
+// ErrStaleFencedRead class and names the external transaction id.
+func TestCheckpointStraddleReject(t *testing.T) {
+	b := history.NewBuilder()
+	s := b.Session()
+	w1 := s.Txn().Write("x").Commit()
+	s.Txn().Write("x").Commit()
+	s.Txn().Write("x").Commit()
+	h := b.MustHistory()
+
+	inc := NewIncremental(Options{Level: AdyaSI})
+	if rep := inc.mustAudit(t, h.Txns[1:]...); rep.Outcome != Accept {
+		t.Fatalf("audit: %v", rep.Outcome)
+	}
+	n, err := inc.Checkpoint(0)
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("compacted %d, want 3", n)
+	}
+
+	// A late reader whose snapshot predates the fence.
+	inc.Append(&history.Txn{Session: 1, Ops: []history.Op{
+		{Kind: history.OpRead, Key: "x", Observed: w1.WriteIDOf("x")},
+	}})
+	err = inc.History().Validate()
+	var verr *history.ValidationError
+	if !errors.As(err, &verr) || verr.Kind != history.ErrStaleFencedRead {
+		t.Fatalf("err = %v, want ErrStaleFencedRead", err)
+	}
+	// External id: live internal id 1 maps to Base(3)+1.
+	if verr.Txn != 4 {
+		t.Fatalf("violation names txn %d, want external 4", verr.Txn)
+	}
+}
+
+// TestCheckpointShrinkKeepsReadersOfStaleVersions: when a kept transaction
+// observes a version that is not the key's final pre-fence one, the shrink
+// pass moves the boundary instead of fencing the observed writer — and the
+// compacted window still accepts.
+func TestCheckpointShrinkClean(t *testing.T) {
+	b := history.NewBuilder()
+	s1, s2 := b.Session(), b.Session()
+	w1 := s1.Txn().Write("x").Commit()
+	s1.Txn().Write("x").Commit()
+	// Reader of the *first* version, late in the history.
+	s2.Txn().ReadObserved("x", w1.WriteIDOf("x")).Commit()
+	h := b.MustHistory()
+
+	inc := NewIncremental(Options{Level: AdyaSI})
+	if rep := inc.mustAudit(t, h.Txns[1:]...); rep.Outcome != Accept {
+		t.Fatalf("audit: %v", rep.Outcome)
+	}
+	// keep=1 would fence both writers, stranding the kept reader on a
+	// stale version; the shrink pass must lower the boundary.
+	if _, err := inc.Checkpoint(1); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if err := inc.History().Validate(); err != nil {
+		t.Fatalf("compacted window must validate: %v", err)
+	}
+	if rep := inc.Audit(); rep.Outcome != Accept {
+		t.Fatalf("post-checkpoint audit: %v", rep.Outcome)
+	}
+}
+
+// TestCheckpointGaugesStamped: audit reports carry the session memory
+// gauges, and after a checkpoint they reflect the certificate.
+func TestCheckpointGaugesStamped(t *testing.T) {
+	h := histgen.SI(histgen.Spec{Txns: 120, Keys: 12, Seed: 5})
+	inc := NewIncremental(Options{Level: AdyaSI})
+	rep := inc.mustAudit(t, h.Txns[1:]...)
+	if rep.Outcome != Accept {
+		t.Fatalf("audit: %v", rep.Outcome)
+	}
+	if rep.LiveTxns != h.Len() || rep.HistoryBytes <= 0 {
+		t.Fatalf("gauges: live=%d hist=%d", rep.LiveTxns, rep.HistoryBytes)
+	}
+	if rep.Checkpoints != 0 || rep.CertBytes != 0 {
+		t.Fatalf("pre-checkpoint fence gauges should be zero: %+v", rep)
+	}
+	before := rep.HistoryBytes
+	if _, err := inc.Checkpoint(10); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	rep = inc.Audit()
+	if rep.Outcome != Accept {
+		t.Fatalf("post-checkpoint audit: %v", rep.Outcome)
+	}
+	if rep.Checkpoints != 1 || rep.CertBytes <= 0 || rep.FencedTxns == 0 {
+		t.Fatalf("fence gauges not stamped: cp=%d cert=%d fenced=%d", rep.Checkpoints, rep.CertBytes, rep.FencedTxns)
+	}
+	if rep.HistoryBytes >= before {
+		t.Fatalf("history bytes should shrink: %d -> %d", before, rep.HistoryBytes)
+	}
+	if rep.LiveTxns != inc.Len() {
+		t.Fatalf("live gauge %d != window %d", rep.LiveTxns, inc.Len())
+	}
+}
+
+// TestCheckpointSerializability: the other supported level checkpoints and
+// stays parity-correct through its single-node witness mapping.
+func TestCheckpointSerializability(t *testing.T) {
+	h := histgen.SI(histgen.Spec{Txns: 150, Keys: 16, MaxConcurrency: 3, Seed: 11})
+	cp := NewIncremental(Options{Level: Serializability, SelfCheck: true})
+	unb := NewIncremental(Options{Level: Serializability})
+	const chunk = 50
+	for lo := 1; lo < len(h.Txns); lo += chunk {
+		hi := lo + chunk
+		if hi > len(h.Txns) {
+			hi = len(h.Txns)
+		}
+		rcp := cp.mustAudit(t, h.Txns[lo:hi]...)
+		runb := unb.mustAudit(t, h.Txns[lo:hi]...)
+		if rcp.Outcome != runb.Outcome {
+			t.Fatalf("@%d: checkpointed=%v unbounded=%v", hi, rcp.Outcome, runb.Outcome)
+		}
+		if rcp.Outcome != Accept {
+			// histgen schedules are SI; serializability may legitimately
+			// reject them — stop streaming, parity held.
+			return
+		}
+		if _, err := cp.Checkpoint(20); err != nil {
+			t.Fatalf("@%d: checkpoint: %v", hi, err)
+		}
+		if rep := cp.mustAudit(t); rep.Outcome != Accept {
+			t.Fatalf("@%d: post-checkpoint audit: %v", hi, rep.Outcome)
+		}
+	}
+	if cp.Certificate().Checkpoints == 0 {
+		t.Fatal("no checkpoint compacted")
+	}
+}
+
+// TestNodeNameExternalIDs: after a checkpoint, diagnostic node names
+// (cycle rendering, DOT labels, CLI counterexamples) must show the
+// external transaction ids the client streamed, not the remapped live
+// window ids.
+func TestNodeNameExternalIDs(t *testing.T) {
+	h := histgen.SI(histgen.Spec{Txns: 120, Keys: 12, MaxConcurrency: 4, Seed: 9})
+	inc := NewIncremental(Options{Level: AdyaSI})
+	if rep := inc.mustAudit(t, h.Txns[1:]...); rep.Outcome != Accept {
+		t.Fatalf("audit: %v", rep.Outcome)
+	}
+	if _, err := inc.Checkpoint(10); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	f := inc.h.Fence()
+	if f == nil || f.Base == 0 {
+		t.Fatalf("expected a fence with a nonzero base, got %+v", f)
+	}
+	pg := Build(inc.h, Options{Level: AdyaSI})
+	last := history.TxnID(inc.h.Len())
+	wantB := fmt.Sprintf("B%d", f.ExternalID(last))
+	wantC := fmt.Sprintf("C%d", f.ExternalID(last))
+	if got := pg.NodeName(int32(2 * last)); got != wantB {
+		t.Fatalf("begin node renders %q, want external id %q", got, wantB)
+	}
+	if got := pg.NodeName(int32(2*last + 1)); got != wantC {
+		t.Fatalf("commit node renders %q, want external id %q", got, wantC)
+	}
+	if int64(f.ExternalID(last)) != f.Base+int64(last) {
+		t.Fatalf("external id %d != base %d + live %d", f.ExternalID(last), f.Base, last)
+	}
+	// Genesis is shared between the fence and the live window.
+	if got := pg.NodeName(0); got != "B0" {
+		t.Fatalf("genesis begin renders %q, want B0", got)
+	}
+	pgSer := Build(inc.h, Options{Level: Serializability})
+	wantT := fmt.Sprintf("T%d", f.ExternalID(last))
+	if got := pgSer.NodeName(int32(last)); got != wantT {
+		t.Fatalf("ser node renders %q, want %q", got, wantT)
+	}
+}

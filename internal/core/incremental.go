@@ -198,6 +198,13 @@ type Incremental struct {
 	rejected *Report // cached graph rejection (levels are prefix-closed)
 	audits   int
 
+	// liveOps counts operations in the live window (Append adds, Checkpoint
+	// subtracts); lastAccept is the most recent audit's accepting report,
+	// nil after any non-accept, append, or checkpoint — Checkpoint requires
+	// it, since the certificate freezes its witness order.
+	liveOps    int64
+	lastAccept *Report
+
 	// lastSnap is the most recently published progress snapshot. It is the
 	// one piece of session state other goroutines may read (Progress): an
 	// immutable value behind an atomic pointer, so a reader never shares
@@ -250,6 +257,28 @@ func (inc *Incremental) publish(snap obs.Snapshot) {
 	}
 }
 
+// stampGauges writes the session memory gauges onto a report: live-window
+// history footprint, resolution-closure footprint, and the checkpoint
+// certificate's coordinates. Called at the end of every audit so reports
+// and progress snapshots prove (or disprove) that checkpointing bounds
+// the session.
+func (inc *Incremental) stampGauges(rep *Report) {
+	rep.LiveTxns = inc.h.Len()
+	rep.HistoryBytes = inc.h.EstimateBytes()
+	rep.ClosureBytes = 0
+	if w := inc.warm; w != nil && w.cl != nil {
+		rep.ClosureBytes = w.cl.bytes()
+	}
+	if f := inc.h.Fence(); f != nil {
+		rep.Checkpoints = f.Checkpoints
+		rep.FencedTxns = f.Txns
+		rep.CertBytes = f.Bytes()
+		rep.TxnIDBase = f.Base
+	} else {
+		rep.Checkpoints, rep.FencedTxns, rep.CertBytes, rep.TxnIDBase = 0, 0, 0, 0
+	}
+}
+
 // obsOpts returns the session options with the Progress callback wrapped
 // to stamp session coordinates and keep lastSnap current — the cold path
 // hands these to CheckPolygraph, whose sampler knows nothing about audits.
@@ -270,10 +299,19 @@ func (inc *Incremental) obsOpts() Options {
 func (inc *Incremental) History() *history.History { return inc.h }
 
 // Append adds a transaction to the session's history, assigning its id.
-func (inc *Incremental) Append(t *history.Txn) history.TxnID { return inc.h.Append(t) }
+func (inc *Incremental) Append(t *history.Txn) history.TxnID {
+	inc.liveOps += int64(len(t.Ops))
+	inc.lastAccept = nil
+	return inc.h.Append(t)
+}
 
-// Len returns the number of appended transactions (genesis excluded).
+// Len returns the number of appended transactions (genesis excluded; the
+// live window only, after checkpoints).
 func (inc *Incremental) Len() int { return inc.h.Len() }
+
+// LiveOps returns the operation count of the live window — what a
+// bounded-session quota should meter, since checkpoints reclaim it.
+func (inc *Incremental) LiveOps() int64 { return inc.liveOps }
 
 // ser reports whether the session uses the transaction-level mapping.
 func (inc *Incremental) ser() bool { return inc.opts.Level == Serializability }
@@ -324,6 +362,7 @@ func (inc *Incremental) AuditContext(ctx context.Context) *Report {
 
 	if inc.rejected != nil {
 		conReg.End()
+		inc.stampGauges(inc.rejected)
 		final := inc.rejected.Snapshot()
 		final.ElapsedNS = int64(time.Since(constructStart))
 		inc.publish(final)
@@ -362,6 +401,12 @@ func (inc *Incremental) AuditContext(ctx context.Context) *Report {
 		// it stays sound even for audits that were later canceled.
 		inc.rejected = rep
 	}
+	if rep.Outcome == Accept && rep.WitnessPositions != nil {
+		inc.lastAccept = rep
+	} else {
+		inc.lastAccept = nil
+	}
+	inc.stampGauges(rep)
 	final := rep.Snapshot()
 	final.ElapsedNS = int64(time.Since(constructStart))
 	inc.publish(final)

@@ -148,13 +148,18 @@ func (pg *Polygraph) NodeName(n int32) string {
 	if n >= pg.auxBase {
 		return fmt.Sprintf("aux%d", n-pg.auxBase)
 	}
+	// Transaction ids in diagnostics are external: behind a checkpoint
+	// fence, live internal ids are offset by the fenced count so cycles
+	// keep naming the transactions the client actually streamed (genesis
+	// stays 0, matching validation errors).
+	ext := func(t int32) history.TxnID { return pg.H.Fence().ExternalID(history.TxnID(t)) }
 	if pg.ser {
-		return fmt.Sprintf("T%d", n)
+		return fmt.Sprintf("T%d", ext(n))
 	}
 	if n%2 == 0 {
-		return fmt.Sprintf("B%d", n/2)
+		return fmt.Sprintf("B%d", ext(n/2))
 	}
-	return fmt.Sprintf("C%d", n/2)
+	return fmt.Sprintf("C%d", ext(n/2))
 }
 
 // edgeClass classifies a candidate edge between events of possibly the

@@ -35,6 +35,20 @@ func BuildReportDoc(tool, path string, h *history.History, parse time.Duration, 
 		doc.History.Txns = st.Txns
 		doc.History.Aborted = st.Aborted
 		doc.History.Sessions = st.Sessions
+		// History counts describe the live (checked) window; the compacted
+		// prefix is accounted for in the checkpoint section.
+		if f := h.Fence(); f != nil {
+			doc.Checkpoint = &obs.CheckpointInfo{
+				Count:           f.Checkpoints,
+				FencedTxns:      f.Txns,
+				FencedCommitted: f.Committed,
+				FencedOps:       f.Ops,
+				Keys:            len(f.Latest),
+				WriteIDs:        len(f.Writes),
+				TxnIDBase:       f.Base,
+				CertBytes:       f.Bytes(),
+			}
+		}
 	}
 	if violation != nil {
 		doc.Outcome = Reject.String()

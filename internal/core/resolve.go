@@ -104,6 +104,19 @@ func (c *closure) reaches(u, v int32) bool {
 	return r != nil && r.Has(v)
 }
 
+// bytes reports the closure's matrix footprint: every materialized row
+// holds Words(capN) packed words. This backs Report.ClosureBytes — the
+// quantity checkpointing keeps proportional to the live window.
+func (c *closure) bytes() int64 {
+	rows := int64(0)
+	for _, r := range c.rows {
+		if r != nil {
+			rows++
+		}
+	}
+	return rows * int64(bitset.Words(c.capN)) * 8
+}
+
 // addArc records the edge in the adjacency lists without propagating
 // reachability; used to stage edges before a full build.
 func (c *closure) addArc(u, v int32) {

@@ -56,8 +56,16 @@ func VerifyWitness(h *history.History, positions []int32, level Level) error {
 	}
 	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
 
-	// Replay: current holds each key's latest committed write id.
+	// Replay: current holds each key's latest committed write id. A
+	// compacted history starts from the fence, not from nothing: the
+	// checkpoint certificate's latest pre-fence versions are the initial
+	// state, so live reads that observed a pre-fence value replay exactly.
 	current := make(map[history.Key]history.WriteID)
+	if f := h.Fence(); f != nil {
+		for k, w := range f.Latest {
+			current[k] = w
+		}
+	}
 	readAt := func(t *history.Txn) error {
 		var fail error
 		t.ExternalReads(func(key history.Key, obs history.WriteID) {

@@ -236,10 +236,11 @@ func All() map[string]func(Config) (*Table, error) {
 		// Repo-local ablations (not paper figures).
 		"resolve":    Resolve,
 		"tsfastpath": TSFastPath,
+		"truncate":   Truncate,
 	}
 }
 
 // Order lists experiments in paper order.
 func Order() []string {
-	return []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "resolve", "tsfastpath"}
+	return []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "resolve", "tsfastpath", "truncate"}
 }

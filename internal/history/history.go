@@ -197,6 +197,8 @@ type History struct {
 	// order (committed and aborted alike). Built by Validate.
 	Sessions [][]TxnID
 
+	fence *Fence // checkpoint certificate for the compacted prefix, or nil
+
 	writerOf map[WriteID]WriterRef // committed writes only
 	keys     []Key                 // sorted distinct keys written by committed txns
 	keyIdx   map[Key]int
@@ -217,8 +219,20 @@ func (h *History) Append(t *Txn) TxnID {
 	return t.ID
 }
 
-// Len returns the number of transactions excluding genesis.
+// Len returns the number of transactions excluding genesis (the live
+// window only, when the history carries a fence).
 func (h *History) Len() int { return len(h.Txns) - 1 }
+
+// SetFence installs a checkpoint certificate: the history becomes the live
+// window of a longer execution whose checked prefix was compacted away.
+// Validation then resolves reads of pre-fence write ids through the
+// certificate, offsets session sequence numbers by the fenced counts, and
+// reports external (pre-compaction) transaction ids in errors.
+func (h *History) SetFence(f *Fence) { h.fence = f }
+
+// Fence returns the installed checkpoint certificate, or nil for an
+// ordinary (unbounded) history.
+func (h *History) Fence() *Fence { return h.fence }
 
 // NumCommitted returns the number of committed transactions excluding
 // genesis.
@@ -241,10 +255,22 @@ func (h *History) Txn(id TxnID) *Txn {
 }
 
 // WriterOf resolves a write id to the committed transaction and op that
-// produced it. The genesis write id resolves to {GenesisID, -1}.
+// produced it. The genesis write id resolves to {GenesisID, -1}; so does
+// the latest pre-fence version of a key, because the fence plays the role
+// of a generalized genesis — it installed the "initial" version of every
+// key the compacted prefix wrote. Superseded or aborted pre-fence ids do
+// not resolve (Validate rejects any history that observes them).
 func (h *History) WriterOf(w WriteID) (WriterRef, bool) {
 	if w == GenesisWriteID {
 		return WriterRef{Txn: GenesisID, Op: -1}, true
+	}
+	if f := h.fence; f != nil {
+		if fw, ok := f.Writes[w]; ok {
+			if fw.State == FencedLatest {
+				return WriterRef{Txn: GenesisID, Op: -1}, true
+			}
+			return WriterRef{}, false
+		}
 	}
 	ref, ok := h.writerOf[w]
 	return ref, ok
@@ -286,6 +312,16 @@ const (
 	ErrWrongKey
 	// ErrRangeBounds is a range query returning a key outside its bounds.
 	ErrRangeBounds
+	// ErrStaleFencedRead is a live read (or range query) in a compacted
+	// history observing a key's pre-fence state other than its final
+	// pre-fence version: a superseded pre-fence write id, or the key's
+	// initial version (absent / genesis) when the checked prefix wrote the
+	// key. Either way the reader's snapshot predates a version the fence
+	// asserts was installed before every live transaction, so the
+	// observation cannot be ordered after the fence. Unbounded checking of
+	// the same execution may or may not reject it; the compacted checker
+	// reports this dedicated class so the straddle is auditable.
+	ErrStaleFencedRead
 )
 
 // String implements fmt.Stringer.
@@ -303,6 +339,8 @@ func (k ViolationKind) String() string {
 		return "read observed a write id belonging to a different key"
 	case ErrRangeBounds:
 		return "range query returned a key outside its bounds"
+	case ErrStaleFencedRead:
+		return "read observed a pre-checkpoint state older than the fence"
 	default:
 		return fmt.Sprintf("ViolationKind(%d)", uint8(k))
 	}
@@ -322,7 +360,9 @@ func (e *ValidationError) Error() string {
 }
 
 func (h *History) errf(kind ViolationKind, txn TxnID, op int, format string, args ...any) error {
-	return &ValidationError{Kind: kind, Txn: txn, Op: op, Msg: fmt.Sprintf(format, args...)}
+	// Report external ids so a violation in a compacted session names the
+	// same transaction the unbounded checker (and the client) would.
+	return &ValidationError{Kind: kind, Txn: h.fence.ExternalID(txn), Op: op, Msg: fmt.Sprintf(format, args...)}
 }
 
 // Validate checks well-formedness and builds the internal indexes
@@ -359,6 +399,11 @@ func (h *History) Validate() error {
 			case OpWrite, OpInsert, OpDelete:
 				if op.WriteID == GenesisWriteID {
 					return h.errf(ErrMalformed, t.ID, i, "write with reserved genesis write id")
+				}
+				if f := h.fence; f != nil {
+					if _, dup := f.Writes[op.WriteID]; dup {
+						return h.errf(ErrMalformed, t.ID, i, "duplicate write id %d (already written before the fence)", op.WriteID)
+					}
 				}
 				if prev, dup := allWrites[op.WriteID]; dup {
 					return h.errf(ErrMalformed, t.ID, i, "duplicate write id %d (first written by txn %d)", op.WriteID, prev.Txn)
@@ -398,6 +443,16 @@ func (h *History) Validate() error {
 						return err
 					}
 				}
+				if f := h.fence; f != nil {
+					// Silence about a fenced-written key claims the key is
+					// absent — an initial-version observation that predates
+					// the fence.
+					for _, k := range f.KeysInRange(op.Lo, op.Hi) {
+						if _, ok := seen[k]; !ok {
+							return h.errf(ErrStaleFencedRead, t.ID, i, "range [%q,%q] silent about key %q written before the fence", op.Lo, op.Hi, k)
+						}
+					}
+				}
 			}
 		}
 	}
@@ -420,9 +475,13 @@ func (h *History) Validate() error {
 		sort.Slice(txns, func(a, b int) bool {
 			return h.Txns[txns[a]].SeqInSession < h.Txns[txns[b]].SeqInSession
 		})
+		base := 0
+		if f := h.fence; f != nil && sid < len(f.SessBase) {
+			base = int(f.SessBase[sid])
+		}
 		for i, id := range txns {
-			if int(h.Txns[id].SeqInSession) != i {
-				return h.errf(ErrMalformed, id, -1, "session %d sequence numbers not dense at position %d", sid, i)
+			if int(h.Txns[id].SeqInSession) != base+i {
+				return h.errf(ErrMalformed, id, -1, "session %d sequence numbers not dense at position %d", sid, base+i)
 			}
 		}
 	}
@@ -443,7 +502,30 @@ func (h *History) Validate() error {
 // transaction t at op index i.
 func (h *History) validateRead(t *Txn, i int, key Key, obs WriteID, allWrites map[WriteID]WriterRef) error {
 	if obs == GenesisWriteID {
+		if f := h.fence; f != nil && f.Written(key) {
+			// The checked prefix installed a version of this key; observing
+			// the initial (absent) version means the reader's snapshot
+			// predates the fence. This holds even when the fenced latest is
+			// a tombstone: an explicit tombstone observation carries its
+			// write id, while absence claims the delete never happened.
+			return h.errf(ErrStaleFencedRead, t.ID, i, "key %q observed as absent but was written before the fence", key)
+		}
 		return nil
+	}
+	if f := h.fence; f != nil {
+		if fw, ok := f.Writes[obs]; ok {
+			if fw.Key != key {
+				return h.errf(ErrWrongKey, t.ID, i, "write id %d belongs to key %q, read on key %q", obs, fw.Key, key)
+			}
+			switch fw.State {
+			case FencedLatest:
+				return nil
+			case FencedAborted:
+				return h.errf(ErrAbortedRead, t.ID, i, "key %q, write id %d written by an aborted pre-fence txn", key, obs)
+			default:
+				return h.errf(ErrStaleFencedRead, t.ID, i, "key %q, write id %d superseded before the fence", key, obs)
+			}
+		}
 	}
 	ref, known := allWrites[obs]
 	if !known {
@@ -523,6 +605,44 @@ type Stats struct {
 	Ranges    int
 	Keys      int
 	Violation error // non-nil if Validate failed
+}
+
+// Per-object accounting constants for EstimateBytes. Deliberately
+// platform-independent round numbers (struct payload plus allocator and
+// index overhead) so gauge values are reproducible in tests and reports.
+const (
+	txnEstBytes       = 96
+	opEstBytes        = 112
+	rangeEntryBytes   = 40
+	writerIndexBytes  = 64
+	sessionIndexBytes = 8
+)
+
+// EstimateBytes approximates the live history's in-memory footprint:
+// transactions, operations, range results, keys, and the writer/session
+// indexes — everything a checkpoint can reclaim. The certificate itself is
+// accounted separately by Fence.Bytes.
+func (h *History) EstimateBytes() int64 {
+	n := int64(0)
+	for _, t := range h.Txns[1:] {
+		n += txnEstBytes
+		for i := range t.Ops {
+			op := &t.Ops[i]
+			n += opEstBytes + int64(len(op.Key)+len(op.Lo)+len(op.Hi))
+			for _, v := range op.Result {
+				n += rangeEntryBytes + int64(len(v.Key))
+			}
+			switch op.Kind {
+			case OpWrite, OpInsert, OpDelete:
+				n += writerIndexBytes
+			}
+		}
+		n += sessionIndexBytes
+	}
+	for _, k := range h.keys {
+		n += fencedKeyBytes + int64(len(k))
+	}
+	return n
 }
 
 // ComputeStats validates the history if needed and summarizes it.

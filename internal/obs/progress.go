@@ -56,6 +56,16 @@ type Snapshot struct {
 	Reorders       int64 `json:"reorders"`
 	ReorderedNodes int64 `json:"reordered_nodes"`
 
+	// Session memory gauges (final snapshots only): the live window's
+	// estimated history footprint, the resolution closure's materialized
+	// rows, and the checkpoint certificate's count and size. These are
+	// what a checkpoint policy bounds; omitted from JSON while zero so
+	// unbounded sessions serialize as before.
+	HistoryBytes int64 `json:"history_bytes,omitempty"`
+	ClosureBytes int64 `json:"closure_bytes,omitempty"`
+	Checkpoints  int   `json:"checkpoints,omitempty"`
+	CertBytes    int64 `json:"cert_bytes,omitempty"`
+
 	// HeapInUse is the process's live heap at sampling time (bytes); zero
 	// when the snapshot was published on a boundary with sampling disabled
 	// (reading it stops the world briefly, so the disabled path skips it).
@@ -65,11 +75,13 @@ type Snapshot struct {
 // String renders the snapshot as a single machine-grepable progress line.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"phase=%s audit=%d txns=%d elapsed=%.3fs conflicts=%d decisions=%d props=%d learnts=%d restarts=%d thconfl=%d reorders=%d pruned=%d resolved=%d forced=%d tsdec=%d tsres=%d edgevars=%d heap=%.1fMB",
+		"phase=%s audit=%d txns=%d elapsed=%.3fs conflicts=%d decisions=%d props=%d learnts=%d restarts=%d thconfl=%d reorders=%d pruned=%d resolved=%d forced=%d tsdec=%d tsres=%d edgevars=%d hist=%.1fMB closure=%.1fMB cp=%d heap=%.1fMB",
 		s.Phase, s.Audit, s.Txns, float64(s.ElapsedNS)/1e9,
 		s.Conflicts, s.Decisions, s.Propagations, s.Learnts, s.Restarts,
 		s.TheoryConfl, s.Reorders, s.PrunedConstraints, s.ResolvedConstraints,
-		s.ForcedEdges, s.TSDecided, s.TSResidual, s.EdgeVars, float64(s.HeapInUse)/(1<<20))
+		s.ForcedEdges, s.TSDecided, s.TSResidual, s.EdgeVars,
+		float64(s.HistoryBytes)/(1<<20), float64(s.ClosureBytes)/(1<<20),
+		s.Checkpoints, float64(s.HeapInUse)/(1<<20))
 }
 
 // HeapInUse reads the live heap size. It is only called on sampling ticks

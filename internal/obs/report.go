@@ -90,6 +90,20 @@ type SolverInfo struct {
 	ReorderedNodes int64 `json:"reordered_nodes"`
 }
 
+// CheckpointInfo summarizes a session's checkpoint certificate: how much
+// history has been compacted behind the fence and what the certificate
+// costs to carry. Present only on reports from checkpointed sessions.
+type CheckpointInfo struct {
+	Count           int   `json:"count"`
+	FencedTxns      int   `json:"fenced_txns"`
+	FencedCommitted int   `json:"fenced_committed"`
+	FencedOps       int64 `json:"fenced_ops"`
+	Keys            int   `json:"keys"`
+	WriteIDs        int   `json:"write_ids"`
+	TxnIDBase       int64 `json:"txn_id_base"`
+	CertBytes       int64 `json:"cert_bytes"`
+}
+
 // CycleEdge is one edge of a counterexample cycle, with node names
 // rendered by the polygraph (e.g. "c(T3)") and edge provenance.
 type CycleEdge struct {
@@ -125,6 +139,10 @@ type ReportDoc struct {
 
 	KnownCycle      []CycleEdge `json:"known_cycle,omitempty"`
 	WitnessVerified bool        `json:"witness_verified,omitempty"`
+
+	// Checkpoint describes the session's checkpoint certificate; absent
+	// when the session never checkpointed.
+	Checkpoint *CheckpointInfo `json:"checkpoint,omitempty"`
 
 	Final *Snapshot `json:"final,omitempty"`
 	Trace *Trace    `json:"trace,omitempty"`

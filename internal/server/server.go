@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"viper"
 	"viper/internal/core"
 	"viper/internal/histio"
 	"viper/internal/obs"
@@ -65,6 +66,13 @@ type Config struct {
 	// an immediate 429 + Retry-After instead of queueing unboundedly.
 	// Default 2*Workers.
 	QueueDepth int
+	// CheckpointEvery and MaxLiveOps are the default checkpoint policy for
+	// sessions that do not set their own (see SessionConfig): after every
+	// accepting audit whose live window crosses either threshold, the
+	// session compacts its checked prefix into a certificate and reclaims
+	// the memory (and op quota). Zero leaves sessions unbounded, as before.
+	CheckpointEvery int
+	MaxLiveOps      int
 	// Logger receives request logs; nil discards them.
 	Logger *log.Logger
 }
@@ -368,25 +376,45 @@ type SessionConfig struct {
 	DisablePruning bool `json:"disable_pruning,omitempty"`
 	// DisableResolve turns off pre-solve constraint resolution.
 	DisableResolve bool `json:"disable_resolve,omitempty"`
+	// CheckpointEvery/MaxLiveOps/CheckpointKeep configure the session's
+	// auto-checkpoint policy (viper.CheckpointPolicy): checkpoint after an
+	// accepting audit once the live window holds CheckpointEvery
+	// transactions or MaxLiveOps operations, keeping CheckpointKeep
+	// transactions live. When both triggers are zero the server's default
+	// policy (Config.CheckpointEvery/MaxLiveOps) applies.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	MaxLiveOps      int `json:"max_live_ops,omitempty"`
+	CheckpointKeep  int `json:"checkpoint_keep,omitempty"`
 }
 
 // SessionInfo is one session's public state, as listed by GET
 // /v1/sessions and returned by creation.
 type SessionInfo struct {
-	ID       string `json:"id"`
-	Level    string `json:"level"`
-	Txns     int64  `json:"txns"`
-	Ops      int64  `json:"ops"`
-	Complete bool   `json:"complete"`
+	ID    string `json:"id"`
+	Level string `json:"level"`
+	// Txns/Ops are lifetime totals (everything ever ingested); LiveTxns/
+	// LiveOps the uncompacted window a checkpoint policy bounds. Without
+	// checkpoints the pairs coincide.
+	Txns        int64 `json:"txns"`
+	Ops         int64 `json:"ops"`
+	LiveTxns    int64 `json:"live_txns"`
+	LiveOps     int64 `json:"live_ops"`
+	Checkpoints int64 `json:"checkpoints,omitempty"`
+	CertBytes   int64 `json:"cert_bytes,omitempty"`
+	Complete    bool  `json:"complete"`
 }
 
 func (sess *session) info() SessionInfo {
 	return SessionInfo{
-		ID:       sess.id,
-		Level:    sess.level,
-		Txns:     sess.txns.Load(),
-		Ops:      sess.opsN.Load(),
-		Complete: sess.complete.Load(),
+		ID:          sess.id,
+		Level:       sess.level,
+		Txns:        sess.txns.Load(),
+		Ops:         sess.opsN.Load(),
+		LiveTxns:    sess.liveTxns.Load(),
+		LiveOps:     sess.liveOps.Load(),
+		Checkpoints: sess.checkpoints.Load(),
+		CertBytes:   sess.certBytes.Load(),
+		Complete:    sess.complete.Load(),
 	}
 }
 
@@ -433,7 +461,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) {
 	if cfg.Name != "" {
 		id = fmt.Sprintf("%s-%d", cfg.Name, s.nextID)
 	}
-	sess := newSession(id, opts, s.cfg.MaxSessionOps)
+	policy := viper.CheckpointPolicy{
+		EveryTxns:  cfg.CheckpointEvery,
+		MaxLiveOps: cfg.MaxLiveOps,
+		Keep:       cfg.CheckpointKeep,
+	}
+	if cfg.CheckpointEvery == 0 && cfg.MaxLiveOps == 0 {
+		policy.EveryTxns, policy.MaxLiveOps = s.cfg.CheckpointEvery, s.cfg.MaxLiveOps
+	}
+	sess := newSession(id, opts, s.cfg.MaxSessionOps, policy)
 	s.sessions[id] = sess
 	active := len(s.sessions)
 	s.mu.Unlock()
@@ -568,6 +604,12 @@ func (s *Server) handleAudit(w http.ResponseWriter, req *http.Request) {
 			s.metrics.Add("viperd_ts_residual_total", d)
 		}
 	}
+	// Checkpoint accounting: Compacted is this audit's delta, no
+	// high-water swap needed.
+	if res.Compacted > 0 {
+		s.metrics.Add("viperd_checkpoints_total", 1)
+		s.metrics.Add("viperd_compacted_txns_total", int64(res.Compacted))
+	}
 	if res.Outcome == core.Timeout && ctx.Err() != nil {
 		// The request deadline (or the client's disconnect) interrupted the
 		// solve; 504 distinguishes that from a genuine verdict.
@@ -621,5 +663,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	s.metrics.Set("viperd_uptime_seconds", int64(time.Since(s.start)/time.Second))
 	s.metrics.Set("viperd_audit_queue_depth", s.waiting.Load())
 	s.metrics.Set("viperd_audit_workers_busy", int64(len(s.tokens)))
+	// Memory gauges summed over live sessions: lifetime ops versus the
+	// live window the checkpoint policies bound, plus what the fences
+	// cost to carry. Read from the lock-free mirrors so scraping never
+	// blocks behind a running audit.
+	var totalOps, liveTxns, liveOps, certBytes int64
+	s.mu.Lock()
+	for _, sess := range s.sessions {
+		totalOps += sess.opsN.Load()
+		liveTxns += sess.liveTxns.Load()
+		liveOps += sess.liveOps.Load()
+		certBytes += sess.certBytes.Load()
+	}
+	s.mu.Unlock()
+	s.metrics.Set("viperd_session_ops_total", totalOps)
+	s.metrics.Set("viperd_live_txns", liveTxns)
+	s.metrics.Set("viperd_live_ops", liveOps)
+	s.metrics.Set("viperd_cert_bytes", certBytes)
 	s.metrics.WriteText(w)
 }

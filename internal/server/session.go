@@ -38,7 +38,13 @@ type session struct {
 	checker *viper.Checker
 	buf     bytes.Buffer // undecoded stream bytes feeding dec
 	dec     *histio.Decoder
-	ops     int
+	// ops is the lifetime operation count — everything the session ever
+	// ingested, including transactions later compacted behind a checkpoint
+	// fence. The op quota, by contrast, meters the *live* window
+	// (checker.LiveOps): a checkpointing session can stream indefinitely
+	// under a fixed quota, which is the whole point of bounded-memory
+	// auditing.
+	ops int
 	// ingestErr is the session's terminal ingest failure (a decode error
 	// or an exhausted quota): the stream position is unrecoverable, so
 	// every later append reports the same failure. Audits stay allowed —
@@ -46,11 +52,17 @@ type session struct {
 	ingestErr    error
 	ingestStatus int
 
-	// Lock-free mirrors for listings, /healthz, and eviction.
-	txns     atomic.Int64
-	opsN     atomic.Int64
-	complete atomic.Bool
-	lastUsed atomic.Int64 // unix nanos of the last client operation
+	// Lock-free mirrors for listings, /healthz, and eviction. txns/opsN
+	// mirror lifetime totals; liveTxns/liveOps the uncompacted window;
+	// checkpoints/certBytes the session's checkpoint certificate.
+	txns        atomic.Int64
+	opsN        atomic.Int64
+	liveTxns    atomic.Int64
+	liveOps     atomic.Int64
+	checkpoints atomic.Int64
+	certBytes   atomic.Int64
+	complete    atomic.Bool
+	lastUsed    atomic.Int64 // unix nanos of the last client operation
 
 	// High-water marks of the warm checker's cumulative resolution
 	// counters, so /metrics can accumulate per-audit deltas across
@@ -62,7 +74,7 @@ type session struct {
 	tsResidualSeen atomic.Int64
 }
 
-func newSession(id string, opts core.Options, maxOps int) *session {
+func newSession(id string, opts core.Options, maxOps int, policy viper.CheckpointPolicy) *session {
 	s := &session{
 		id:      id,
 		level:   opts.Level.String(),
@@ -70,6 +82,7 @@ func newSession(id string, opts core.Options, maxOps int) *session {
 		maxOps:  maxOps,
 		checker: viper.NewChecker(opts),
 	}
+	s.checker.SetCheckpointPolicy(policy)
 	s.dec = histio.NewDecoder(&s.buf)
 	s.dec.SetTail(true)
 	s.touch()
@@ -79,11 +92,13 @@ func newSession(id string, opts core.Options, maxOps int) *session {
 // touch records client activity for idle-TTL eviction.
 func (sess *session) touch() { sess.lastUsed.Store(time.Now().UnixNano()) }
 
-// quotaError marks quota-exhaustion ingest failures (HTTP 413).
+// quotaError marks quota-exhaustion ingest failures (HTTP 413). The quota
+// meters the live (uncompacted) window, so sessions with a checkpoint
+// policy reclaim quota at every checkpoint.
 type quotaError struct{ limit, ops int }
 
 func (e *quotaError) Error() string {
-	return fmt.Sprintf("per-session op quota exceeded (limit %d, stream carries more than %d ops)", e.limit, e.ops)
+	return fmt.Sprintf("per-session live-op quota exceeded (limit %d, live window holds %d ops; enable a checkpoint policy or audit less history per session)", e.limit, e.ops)
 }
 
 // ingest appends one request body's bytes to the session stream and
@@ -160,8 +175,8 @@ func (sess *session) drain(appended *int) error {
 		if err != nil {
 			return err
 		}
-		if sess.ops+len(t.Ops) > sess.maxOps {
-			return &quotaError{limit: sess.maxOps, ops: sess.ops}
+		if live := int(sess.checker.LiveOps()); live+len(t.Ops) > sess.maxOps {
+			return &quotaError{limit: sess.maxOps, ops: live}
 		}
 		sess.checker.Append(t)
 		sess.ops += len(t.Ops)
@@ -181,11 +196,19 @@ func (sess *session) audit(ctx context.Context) (*viper.Result, *obs.ReportDoc) 
 	// already in res.Violation.
 	_ = h.Validate()
 	doc := core.BuildReportDoc("viperd", "", h, res.ParseTime, res.Report, res.Violation, sess.opts, nil)
+	// An accepting audit may have auto-checkpointed, shrinking the live
+	// window; refresh the mirrors so listings and /metrics see it.
+	sess.syncMirrors()
 	return res, doc
 }
 
 // syncMirrors refreshes the lock-free counters after a mutation under mu.
 func (sess *session) syncMirrors() {
-	sess.txns.Store(int64(sess.checker.Len()))
+	cert := sess.checker.Certificate()
+	sess.txns.Store(int64(sess.checker.LifetimeLen()))
 	sess.opsN.Store(int64(sess.ops))
+	sess.liveTxns.Store(int64(sess.checker.Len()))
+	sess.liveOps.Store(sess.checker.LiveOps())
+	sess.checkpoints.Store(int64(cert.Checkpoints))
+	sess.certBytes.Store(cert.Bytes)
 }

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"viper/internal/histgen"
+)
+
+// soak streams one long generated history through a session with the
+// given checkpoint policy, auditing `audits` times along the way, while
+// a second goroutine polls the observation endpoints (progress, listing,
+// metrics) — the lock-free mirror paths under the race detector. Heap
+// growth is measured GC-settled against a baseline taken after the
+// history is generated and encoded, so the client-side input buffer does
+// not count against the server's ceiling. Returns the session's final
+// listing entry.
+func soak(t *testing.T, txns, audits int, scfg SessionConfig, heapCeiling uint64) SessionInfo {
+	t.Helper()
+	_, cl := start(t, Config{MaxSessionOps: 1 << 30})
+	ctx := context.Background()
+
+	h := histgen.SI(histgen.Spec{Txns: txns, Keys: 2000, MaxConcurrency: 8, Seed: 77})
+	raw := encode(t, h)
+	wantTxns := int64(len(h.Txns) - 1)
+	h = nil
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	baseline := ms.HeapInuse
+
+	info, err := cl.CreateSession(ctx, scfg)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	// Concurrent observer: progress and listings must never block behind
+	// (or race with) the audit loop.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := cl.Progress(ctx, info.ID); err != nil {
+				return
+			}
+			if _, err := cl.Sessions(ctx); err != nil {
+				return
+			}
+			if _, err := cl.Metrics(ctx); err != nil {
+				return
+			}
+		}
+	}()
+
+	var peak uint64
+	step := len(raw)/audits + 1
+	for n, lo := 0, 0; lo < len(raw); lo += step {
+		hi := lo + step
+		if hi > len(raw) {
+			hi = len(raw)
+		}
+		final := hi == len(raw)
+		if _, err := cl.Append(ctx, info.ID, bytes.NewReader(raw[lo:hi]), final); err != nil {
+			t.Fatalf("append [%d:%d): %v", lo, hi, err)
+		}
+		doc, err := cl.Audit(ctx, info.ID)
+		if err != nil {
+			t.Fatalf("audit @%d: %v", hi, err)
+		}
+		if doc.Outcome != "accept" {
+			t.Fatalf("audit @%d: outcome %q", hi, doc.Outcome)
+		}
+		if n++; n%5 == 0 || final {
+			runtime.GC()
+			runtime.ReadMemStats(&ms)
+			if ms.HeapInuse > baseline && ms.HeapInuse-baseline > peak {
+				peak = ms.HeapInuse - baseline
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if peak > heapCeiling {
+		t.Fatalf("heap grew %d MiB over baseline (ceiling %d MiB) — live window not bounded",
+			peak>>20, heapCeiling>>20)
+	}
+	list, err := cl.Sessions(ctx)
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	for _, si := range list {
+		if si.ID == info.ID {
+			if si.Txns != wantTxns {
+				t.Fatalf("lifetime txns %d, want %d", si.Txns, wantTxns)
+			}
+			t.Logf("soak: %d txns / %d ops lifetime, live %d txns / %d ops, %d checkpoints, cert %d KiB, peak heap growth %d MiB",
+				si.Txns, si.Ops, si.LiveTxns, si.LiveOps, si.Checkpoints, si.CertBytes>>10, peak>>20)
+			return si
+		}
+	}
+	t.Fatalf("session %s missing from listing", info.ID)
+	return SessionInfo{}
+}
+
+// TestSoakSmoke is the always-on (and -race) slice of the soak: a few
+// thousand transactions, checkpointing throughout, concurrent observers.
+func TestSoakSmoke(t *testing.T) {
+	si := soak(t, 3000, 6,
+		SessionConfig{CheckpointEvery: 400, CheckpointKeep: 100}, 256<<20)
+	if si.Checkpoints == 0 {
+		t.Fatalf("smoke never checkpointed: %+v", si)
+	}
+	if si.LiveTxns >= si.Txns {
+		t.Fatalf("live window never compacted: %+v", si)
+	}
+}
+
+// TestSoakCheckpointMemory is the CI soak job: over a million operations
+// through viperd under a periodic checkpoint policy, with steady-state
+// heap growth held under a fixed ceiling. Gated behind VIPER_SOAK=1 —
+// it streams ~420k transactions and runs for minutes.
+func TestSoakCheckpointMemory(t *testing.T) {
+	if os.Getenv("VIPER_SOAK") == "" {
+		t.Skip("set VIPER_SOAK=1 to run the million-op soak")
+	}
+	si := soak(t, 420_000, 50,
+		SessionConfig{CheckpointEvery: 8000, CheckpointKeep: 2000}, 256<<20)
+	if si.Ops < 1_000_000 {
+		t.Fatalf("soak streamed only %d ops, want >= 1M", si.Ops)
+	}
+	if si.Checkpoints < 10 {
+		t.Fatalf("only %d checkpoints over the soak", si.Checkpoints)
+	}
+	if si.LiveTxns > 20_000 {
+		t.Fatalf("final live window %d txns — compaction fell behind", si.LiveTxns)
+	}
+}

@@ -91,6 +91,9 @@ type (
 	Outcome = core.Outcome
 	// Report carries the checker's detailed statistics and phase timings.
 	Report = core.Report
+	// Certificate summarizes a session's checkpoint certificate: what a
+	// Checker compacted away and what the fence costs to carry.
+	Certificate = core.Certificate
 )
 
 // Re-exported observability layer (see package obs): live progress
@@ -153,6 +156,11 @@ type Result struct {
 	Report *Report
 	// ParseTime is the time spent loading/validating the history.
 	ParseTime time.Duration
+	// Compacted is the number of transactions an auto-checkpoint (see
+	// Checker.SetCheckpointPolicy) compacted right after this audit;
+	// CheckpointErr records why a due auto-checkpoint could not run.
+	Compacted     int
+	CheckpointErr error
 }
 
 // Check validates the history and decides whether it satisfies the
