@@ -567,6 +567,65 @@ func BenchmarkIncrementalAudit(b *testing.B) {
 	})
 }
 
+// --- Verdict matrix ------------------------------------------------------
+
+// BenchmarkCheckMatrix measures the one-pass verdict matrix against its
+// obvious substitute, six independent per-level checks over the same
+// history. "one-pass" is CheckMatrixHistory (shared ingest, derived
+// verdicts via lattice monotonicity); "independent" runs CheckHistory at
+// every matrix level from scratch. The custom metric reports how many
+// levels the matrix actually checked (the rest were derived).
+func BenchmarkCheckMatrix(b *testing.B) {
+	for _, size := range []int{400, 1000, 2000} {
+		h := benchHistory(b, "blindw-rw", workload.NewBlindWRW(), size, 24)
+		b.Run(fmt.Sprintf("one-pass/txns=%d", size), func(b *testing.B) {
+			var checked int
+			for i := 0; i < b.N; i++ {
+				mr := core.CheckMatrixHistory(h, core.Options{})
+				mustOutcome(b, mr.Verdict(core.AdyaSI).Outcome, core.Accept)
+				checked = mr.Checked
+			}
+			b.ReportMetric(float64(checked), "levels-checked")
+		})
+		b.Run(fmt.Sprintf("independent/txns=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, l := range core.MatrixLevels {
+					rep := core.CheckHistory(h, core.Options{Level: l})
+					if l == core.AdyaSI {
+						mustOutcome(b, rep.Outcome, core.Accept)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAuditMatrixWarm measures the warm incremental matrix session:
+// a BlindW-RW stream arriving in 10 batches with a full matrix audit
+// after each, one Checker keeping its construction and solver state
+// across audits.
+func BenchmarkAuditMatrixWarm(b *testing.B) {
+	const batches = 10
+	h := benchHistory(b, "blindw-rw", workload.NewBlindWRW(), 2000, 24)
+	n := h.Len()
+	per := (n + batches - 1) / batches
+	for i := 0; i < b.N; i++ {
+		c := NewChecker(Options{})
+		for at := 0; at < n; at += per {
+			hi := at + per
+			if hi > n {
+				hi = n
+			}
+			c.Append(h.Txns[1+at : 1+hi]...)
+			res := c.AuditMatrix()
+			if res.Matrix == nil || res.Matrix.Verdict(core.AdyaSI).Outcome != core.Accept {
+				b.Fatalf("matrix audit at %d txns: %+v", hi, res.Outcome)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batches)/1e6, "ms/audit")
+}
+
 // --- Observability overhead ---------------------------------------------
 
 // BenchmarkObsOverhead measures the cost of the observability layer in its

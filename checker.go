@@ -27,6 +27,9 @@ type Checker struct {
 	opts   Options
 	inc    *core.Incremental
 	policy CheckpointPolicy
+	// matrix is the lazily-created verdict-matrix session backing
+	// AuditMatrix; its warm sub-sessions are independent of inc.
+	matrix *core.Matrix
 }
 
 // NewChecker starts an empty checking session with the given options.
@@ -160,4 +163,35 @@ func (c *Checker) AuditContext(ctx context.Context) *Result {
 		res.Compacted, res.CheckpointErr = c.inc.Checkpoint(keep)
 	}
 	return res
+}
+
+// AuditMatrix checks everything appended so far against every level of
+// the verdict matrix (see CheckMatrix), reusing the matrix session's warm
+// state across calls: the AdyaSI and Serializability sub-sessions keep
+// their solvers, the GSI sub-session its construction records, and the
+// polynomial levels are derived outright whenever monotonicity decides
+// them — so repeated matrix audits of a growing history cost roughly the
+// delta, not six fresh checks. Per-level verdicts always equal CheckMatrix
+// (and independent Check calls) on a snapshot of the same transactions.
+//
+// AuditMatrix is independent of Audit: it neither consumes nor produces
+// the single-level session's state, and it never triggers the checkpoint
+// policy (checkpointing certifies the session's own level; compact via
+// Audit + Checkpoint — the matrix session re-binds automatically after a
+// compaction).
+func (c *Checker) AuditMatrix() *MatrixResult { return c.AuditMatrixContext(context.Background()) }
+
+// AuditMatrixContext is AuditMatrix under a cancellation context: ctx
+// bounds the whole pass, Options.Timeout each level's check.
+func (c *Checker) AuditMatrixContext(ctx context.Context) *MatrixResult {
+	start := time.Now()
+	if err := c.inc.History().Validate(); err != nil {
+		return &MatrixResult{Outcome: Reject, Violation: err, ParseTime: time.Since(start)}
+	}
+	parse := time.Since(start)
+	if c.matrix == nil {
+		c.matrix = core.NewMatrix(c.opts)
+	}
+	mr := c.matrix.AuditContext(ctx, c.inc.History())
+	return &MatrixResult{Outcome: mr.Outcome(), Matrix: mr, ParseTime: parse}
 }

@@ -11,8 +11,15 @@
 // (every -every transactions or -interval, whichever comes first),
 // streaming one verdict line per audit.
 //
+// With -matrix the history is checked against the whole isolation-level
+// lattice in one pass — read-committed, read-atomic, causal, adya-si,
+// gsi, serializability — reporting every level's verdict and the weakest
+// violated level; -level is ignored.
+//
 // Exit status: 0 accept, 1 reject, 2 usage/IO error, 3 timeout — scripts
-// can branch on the verdict without parsing output.
+// can branch on the verdict without parsing output. Under -matrix the
+// verdict aggregates the lattice: 0 every level accepts, 1 at least one
+// level rejects, 3 no level rejects but at least one times out.
 package main
 
 import (
@@ -58,7 +65,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.PrintDefaults()
 	}
 	var (
-		levelFlag   = fs.String("level", "adya-si", "isolation level: adya-si | gsi | strong-session-si | strong-si | serializability | read-committed")
+		levelFlag   = fs.String("level", "adya-si", "isolation level: adya-si | gsi | strong-session-si | strong-si | serializability | read-committed | read-atomic | causal")
+		matrixFlag  = fs.Bool("matrix", false, "check the whole isolation-level lattice in one pass and report every level's verdict (-level is ignored)")
 		drift       = fs.Duration("drift", 0, "bounded clock drift between client collectors (for gsi / strong-si / strong-session-si)")
 		timeout     = fs.Duration("timeout", 0, "checking time budget (0 = unbounded)")
 		noPruning   = fs.Bool("no-pruning", false, "disable heuristic pruning (§3.5)")
@@ -136,6 +144,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// the stream stays parseable.
 	quiet := *reportJSON == "-"
 
+	if *matrixFlag && (*follow || *serverURL != "" || *dotPath != "") {
+		fmt.Fprintln(stderr, "viper: -matrix is a local batch mode (not combinable with -follow, -server, or -dot)")
+		return exitUsage
+	}
+
 	if *serverURL != "" {
 		if *follow {
 			fmt.Fprintln(stderr, "viper: -follow and -server are mutually exclusive")
@@ -160,7 +173,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if !quiet {
 				fmt.Fprintf(stdout, "reject (validation): %v\n", verr)
 			}
-			doc := buildReportDoc(fs.Arg(0), nil, time.Since(start), nil, verr, opts, opts.Tracer)
+			var doc *obs.ReportDoc
+			if *matrixFlag {
+				doc = core.BuildMatrixDoc("viper", fs.Arg(0), nil, time.Since(start), nil, verr, opts, opts.Tracer)
+			} else {
+				doc = buildReportDoc(fs.Arg(0), nil, time.Since(start), nil, verr, opts, opts.Tracer)
+			}
 			emitObs(*reportJSON, *traceOut, doc, stdout, stderr)
 			return exitReject
 		}
@@ -168,6 +186,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 	parse := time.Since(start)
+
+	if *matrixFlag {
+		return runMatrix(fs.Arg(0), h, parse, opts, *reportJSON, *traceOut, quiet, stdout, stderr)
+	}
 
 	rep := core.CheckHistory(h, opts)
 
@@ -241,6 +263,59 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	switch rep.Outcome {
+	case core.Accept:
+		return exitAccept
+	case core.Reject:
+		return exitReject
+	default:
+		return exitTimeout
+	}
+}
+
+// runMatrix checks the loaded history against the whole isolation-level
+// lattice in one pass and prints the verdict matrix: one row per level,
+// derived verdicts attributed to the level that implied them, rejecting
+// rows annotated with their evidence.
+func runMatrix(path string, h *history.History, parse time.Duration, opts core.Options, reportJSON, traceOut string, quiet bool, stdout, stderr io.Writer) int {
+	mr := core.CheckMatrixHistory(h, opts)
+	agg := mr.Outcome()
+
+	if !quiet {
+		st := h.ComputeStats()
+		fmt.Fprintf(stdout, "%s: %d txns (%d aborted), %d sessions, matrix\n",
+			path, st.Txns, st.Aborted, st.Sessions)
+		fmt.Fprintf(stdout, "verdict: %s\n", agg)
+		if mr.Violated {
+			fmt.Fprintf(stdout, "weakest violated: %s\n", mr.WeakestViolated)
+		}
+		if mr.Satisfied {
+			fmt.Fprintf(stdout, "strongest satisfied: %s\n", mr.StrongestSatisfied)
+		}
+		for i := range mr.Verdicts {
+			v := &mr.Verdicts[i]
+			note := ""
+			switch {
+			case v.Derived:
+				note = fmt.Sprintf("  (derived from %s)", v.From)
+			case v.Report != nil && v.Report.Anomaly != "":
+				note = "  (" + v.Report.Anomaly + ")"
+			case v.Report != nil && v.Report.KnownCycle != nil:
+				note = fmt.Sprintf("  (counterexample cycle, %d edges)", len(v.Report.KnownCycle))
+			}
+			fmt.Fprintf(stdout, "  %-16s %s%s\n", v.Level, v.Outcome, note)
+		}
+		fmt.Fprintf(stdout, "time: parse %.3fs, matrix %.3fs (%d levels checked, %d derived)\n",
+			parse.Seconds(), mr.Wall.Seconds(), mr.Checked, len(mr.Verdicts)-mr.Checked)
+	}
+
+	if reportJSON != "" || traceOut != "" {
+		doc := core.BuildMatrixDoc("viper", path, h, parse, mr, nil, opts, opts.Tracer)
+		if !emitObs(reportJSON, traceOut, doc, stdout, stderr) {
+			return exitUsage
+		}
+	}
+
+	switch agg {
 	case core.Accept:
 		return exitAccept
 	case core.Reject:
@@ -393,14 +468,25 @@ func drainComplete(dec *histio.Decoder, c *viper.Checker) error {
 // and follow paths).
 func printCounterexample(stdout io.Writer, h *history.History, rep *core.Report, opts core.Options) {
 	if rep.KnownCycle != nil {
-		pg := core.Build(h, opts)
+		// Polynomial levels' cycle nodes are transaction ids of the forced
+		// commit order; the solver levels' are polygraph event nodes.
+		name := func(n int32) string {
+			if f := h.Fence(); f != nil {
+				return fmt.Sprintf("T%d", f.ExternalID(history.TxnID(n)))
+			}
+			return fmt.Sprintf("T%d", n)
+		}
+		if !opts.Level.Polynomial() {
+			pg := core.Build(h, opts)
+			name = pg.NodeName
+		}
 		fmt.Fprintln(stdout, "counterexample cycle in the known dependency graph:")
 		for _, ke := range rep.KnownCycle {
 			label := ke.Kind.String()
 			if ke.Key != "" {
 				label += fmt.Sprintf("(%s)", ke.Key)
 			}
-			fmt.Fprintf(stdout, "  %s --%s--> %s\n", pg.NodeName(ke.From), label, pg.NodeName(ke.To))
+			fmt.Fprintf(stdout, "  %s --%s--> %s\n", name(ke.From), label, name(ke.To))
 		}
 		return
 	}

@@ -38,6 +38,19 @@ const (
 	// ReadSkew is a fractured snapshot across two keys (TiDB 2.1.7 in
 	// Figure 14); the same dependency shape as GSIb.
 	ReadSkew
+	// FracturedRead is the Read Atomic violation: a reader observes one
+	// key from a transaction but another key from a version that
+	// transaction superseded, splitting its atomic write set. Read
+	// Committed accepts it (no intermediate read, no wr cycle); Read
+	// Atomic and everything stronger reject.
+	FracturedRead
+	// CausalFork is the causally-fenced fork: a reader observes a write
+	// whose author had itself observed an earlier write, yet reads the
+	// earlier write's key from a superseded version. Read Atomic accepts
+	// it (the stale read's author is not a *direct* dependency), Causal
+	// Consistency and everything stronger reject — the level-separating
+	// variant of the long fork, which Causal still accepts.
+	CausalFork
 )
 
 // String implements fmt.Stringer, using the paper's Figure 14/15 labels.
@@ -57,6 +70,10 @@ func (k Kind) String() string {
 		return "read your future writes"
 	case ReadSkew:
 		return "read skew"
+	case FracturedRead:
+		return "fractured read"
+	case CausalFork:
+		return "causal fork"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -64,7 +81,7 @@ func (k Kind) String() string {
 
 // Kinds lists every injectable violation.
 func Kinds() []Kind {
-	return []Kind{G1c, LongFork, GSIb, LostUpdate, AbortedRead, ReadYourFutureWrites, ReadSkew}
+	return []Kind{G1c, LongFork, GSIb, LostUpdate, AbortedRead, ReadYourFutureWrites, ReadSkew, FracturedRead, CausalFork}
 }
 
 // ValidationLevel reports whether the violation is caught by history
@@ -72,6 +89,74 @@ func Kinds() []Kind {
 // reads are.
 func (k Kind) ValidationLevel() bool {
 	return k == AbortedRead || k == ReadYourFutureWrites
+}
+
+// MatrixLevels lists the verdict-matrix levels in lattice order, by the
+// textual names core.ParseLevel accepts. This package cannot import core
+// (core's own tests inject anomalies), so the expectations table speaks
+// level names; callers map them back with core.ParseLevel.
+var MatrixLevels = []string{
+	"read-committed",
+	"read-atomic",
+	"causal",
+	"adya-si",
+	"gsi",
+	"serializability",
+}
+
+// Expectation is one Kind's expected verdict matrix when injected into a
+// clean base history (one every matrix level accepts — empty, or serial
+// single-writer). It is the package's ground truth for level-aware
+// checking: the corpus tests assert both independent per-level checks
+// and one-pass matrix audits reproduce exactly this classification.
+type Expectation struct {
+	// Validation marks kinds rejected by history validation, before any
+	// level's graph analysis: every level reports the same validation
+	// rejection and Accepts/WeakestViolated are empty.
+	Validation bool
+	// Accepts maps each MatrixLevels name to the expected verdict: true
+	// accept, false reject.
+	Accepts map[string]bool
+	// WeakestViolated names the weakest rejecting level — the headline
+	// classification a matrix audit reports for the anomaly.
+	WeakestViolated string
+}
+
+// rejectFrom builds the chain expectation: every level weaker than the
+// given one accepts, it and everything stronger rejects (all injected
+// anomalies are violations of a chain level, so Serializability — the
+// off-chain branch — rejects whenever the chain does).
+func rejectFrom(level string) Expectation {
+	e := Expectation{Accepts: make(map[string]bool, len(MatrixLevels)), WeakestViolated: level}
+	rejecting := false
+	for _, l := range MatrixLevels {
+		if l == level {
+			rejecting = true
+		}
+		e.Accepts[l] = !rejecting
+	}
+	return e
+}
+
+// Expectation returns the Kind's expected level matrix. The weakest
+// violated level is what makes the corpus level-aware: G1c's wr cycle
+// already breaks Read Committed; fractured reads and read skew split an
+// atomic write set (Read Atomic); the causal fork needs transitive
+// observation (Causal); and the long fork, G-SIb, and lost update are
+// invisible below snapshot isolation.
+func (k Kind) Expectation() Expectation {
+	switch k {
+	case G1c:
+		return rejectFrom("read-committed")
+	case FracturedRead, ReadSkew:
+		return rejectFrom("read-atomic")
+	case CausalFork:
+		return rejectFrom("causal")
+	case LongFork, GSIb, LostUpdate:
+		return rejectFrom("adya-si")
+	default: // AbortedRead, ReadYourFutureWrites
+		return Expectation{Validation: true}
+	}
 }
 
 // injector appends transactions to an existing history with fresh write
@@ -186,6 +271,31 @@ func Inject(h *history.History, kind Kind) *history.History {
 		wp, wq := inj.wid(), inj.wid()
 		inj.txn(history.StatusCommitted, write(p, wp), write(q, wq))
 		inj.txn(history.StatusCommitted, read(p, history.GenesisWriteID), read(q, wq))
+	case FracturedRead:
+		// T0 installs x,y atomically; T1 reads both and overwrites both
+		// (manifesting T0 < T1); T2 reads x from T1 but y from T0 — T1's
+		// atomic write set arrives fractured. Read Committed sees no
+		// intermediate read and no wr cycle; Read Atomic's saturation
+		// forces T1 before T0 (T2 observed T1 yet read T0's y) against the
+		// manifested order.
+		x, y := history.Key("anom:fr:x"), history.Key("anom:fr:y")
+		w0x, w0y := inj.wid(), inj.wid()
+		inj.txn(history.StatusCommitted, write(x, w0x), write(y, w0y))
+		w1x, w1y := inj.wid(), inj.wid()
+		inj.txn(history.StatusCommitted, read(x, w0x), read(y, w0y), write(x, w1x), write(y, w1y))
+		inj.txn(history.StatusCommitted, read(x, w1x), read(y, w0y))
+	case CausalFork:
+		// T1 writes x; T2 reads it and writes y; T3 reads y from T2 but x
+		// from genesis. T1 is a causal (transitive) dependency of T3, so
+		// Causal forces T1 before genesis — a cycle — while Read Atomic,
+		// which saturates only over direct observations, accepts: T3's
+		// direct observations are {T2, genesis}, and T2 wrote no x.
+		x, y := history.Key("anom:cf:x"), history.Key("anom:cf:y")
+		wx := inj.wid()
+		inj.txn(history.StatusCommitted, write(x, wx))
+		wy := inj.wid()
+		inj.txn(history.StatusCommitted, read(x, wx), write(y, wy))
+		inj.txn(history.StatusCommitted, read(y, wy), read(x, history.GenesisWriteID))
 	case LostUpdate:
 		k := history.Key("anom:lu:counter")
 		w0 := inj.wid()

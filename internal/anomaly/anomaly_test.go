@@ -85,6 +85,114 @@ func TestInjectPreservesFreshWriteIDs(t *testing.T) {
 	}
 }
 
+// serialBase builds a clean single-client history that every matrix
+// level accepts — the neutral carrier for level-aware injections.
+func serialBase(t *testing.T) *history.History {
+	t.Helper()
+	h, _, err := runner.Run(workload.NewBlindWRW(), runner.Config{Clients: 1, Txns: 30, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestExpectationMatrix locks the level-aware classification of the
+// corpus: for every kind, injected into both an empty and a clean serial
+// base, (a) each level's independent check and (b) the one-pass verdict
+// matrix land exactly on the Expectation table — same per-level
+// accept/reject, same weakest violated level.
+func TestExpectationMatrix(t *testing.T) {
+	bases := map[string]func(t *testing.T) *history.History{
+		"empty":  func(t *testing.T) *history.History { return history.NewBuilder().MustHistory() },
+		"serial": serialBase,
+	}
+	for baseName, mk := range bases {
+		for _, kind := range Kinds() {
+			kind := kind
+			t.Run(baseName+"/"+kind.String(), func(t *testing.T) {
+				h := Inject(mk(t), kind)
+				err := h.Validate()
+				exp := kind.Expectation()
+				if exp.Validation {
+					if err == nil {
+						t.Fatal("validation-level anomaly validated cleanly")
+					}
+					if exp.Accepts != nil || exp.WeakestViolated != "" {
+						t.Fatalf("validation expectation carries level verdicts: %+v", exp)
+					}
+					return
+				}
+				if err != nil {
+					t.Fatalf("injected history does not validate: %v", err)
+				}
+
+				// Independent per-level checks.
+				for _, name := range MatrixLevels {
+					lvl, ok := core.ParseLevel(name)
+					if !ok {
+						t.Fatalf("MatrixLevels name %q unknown to core.ParseLevel", name)
+					}
+					want := core.Reject
+					if exp.Accepts[name] {
+						want = core.Accept
+					}
+					if rep := core.CheckHistory(h, core.Options{Level: lvl}); rep.Outcome != want {
+						t.Errorf("independent %s = %v, want %v", name, rep.Outcome, want)
+					}
+				}
+
+				// One-pass matrix agrees, including the headline level.
+				mr := core.CheckMatrixHistory(h, core.Options{})
+				if !mr.Violated || mr.WeakestViolated.String() != exp.WeakestViolated {
+					t.Errorf("matrix weakest violated = %q (violated=%v), want %q",
+						mr.WeakestViolated, mr.Violated, exp.WeakestViolated)
+				}
+				for _, name := range MatrixLevels {
+					lvl, _ := core.ParseLevel(name)
+					v := mr.Verdict(lvl)
+					if v == nil {
+						t.Fatalf("matrix has no verdict for %s", name)
+					}
+					want := core.Reject
+					if exp.Accepts[name] {
+						want = core.Accept
+					}
+					if v.Outcome != want {
+						t.Errorf("matrix %s = %v, want %v", name, v.Outcome, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestExpectationCoversEveryLevel pins the table's shape: non-validation
+// expectations carry a verdict for every matrix level, and the weakest
+// violated level is the first rejecting one in lattice order.
+func TestExpectationCoversEveryLevel(t *testing.T) {
+	for _, kind := range Kinds() {
+		exp := kind.Expectation()
+		if exp.Validation {
+			continue
+		}
+		if len(exp.Accepts) != len(MatrixLevels) {
+			t.Fatalf("%v: %d level verdicts, want %d", kind, len(exp.Accepts), len(MatrixLevels))
+		}
+		weakest := ""
+		for _, name := range MatrixLevels {
+			if _, ok := exp.Accepts[name]; !ok {
+				t.Fatalf("%v: no verdict for %s", kind, name)
+			}
+			if !exp.Accepts[name] && weakest == "" {
+				weakest = name
+			}
+		}
+		if weakest != exp.WeakestViolated {
+			t.Fatalf("%v: weakest = %q, table says %q", kind, weakest, exp.WeakestViolated)
+		}
+	}
+}
+
 func TestKindStringsDistinct(t *testing.T) {
 	seen := make(map[string]bool)
 	for _, k := range Kinds() {

@@ -147,6 +147,11 @@ type Report struct {
 	// graph (a rejection that needs no solving), as diagnostic evidence.
 	KnownCycle []KnownEdge
 
+	// Anomaly, when non-empty, names a polynomially-detected anomaly that
+	// rejected the history before any graph analysis (currently G1b
+	// intermediate reads — see findG1b), in human-readable form.
+	Anomaly string
+
 	// WitnessPositions, on Accept, assigns each node a position in a valid
 	// total order of begins/commits (the ŝ of Theorem 4): a schedule
 	// witnessing SI. Indexed by node id; auxiliary nodes included.
@@ -225,8 +230,8 @@ func CheckHistory(h *history.History, opts Options) *Report {
 // expires first wins), and canceling ctx interrupts a running solve. A
 // check stopped by ctx reports Outcome Timeout.
 func CheckHistoryContext(ctx context.Context, h *history.History, opts Options) *Report {
-	if opts.Level == ReadCommitted {
-		return checkReadCommitted(h)
+	if opts.Level.Polynomial() {
+		return checkPolynomial(h, opts)
 	}
 	// One-shot checking is a single-audit incremental session: the first
 	// audit always assembles the full polygraph and runs the batch solve,

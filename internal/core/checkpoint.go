@@ -146,6 +146,7 @@ func (inc *Incremental) Checkpoint(keep int) (int, error) {
 	// the timestamp order refolds from the live transactions.
 	inc.h = nh
 	inc.indexed = 1
+	inc.g1bHigh = 1
 	inc.readers = make(map[history.Key]map[history.TxnID][]history.TxnID)
 	inc.writers = make(map[history.Key][]history.TxnID)
 	inc.knownKeys = make(map[history.Key]bool)

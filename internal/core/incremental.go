@@ -171,6 +171,7 @@ type Incremental struct {
 
 	// Persistent construction state.
 	indexed   int // h.Txns high-water mark already folded into the indexes
+	g1bHigh   int // h.Txns high-water mark already screened for G1b reads
 	readers   map[history.Key]map[history.TxnID][]history.TxnID
 	writers   map[history.Key][]history.TxnID
 	knownKeys map[history.Key]bool
@@ -219,6 +220,7 @@ func NewIncremental(opts Options) *Incremental {
 		opts:        opts,
 		h:           history.New(),
 		indexed:     1,
+		g1bHigh:     1,
 		readers:     make(map[history.Key]map[history.TxnID][]history.TxnID),
 		writers:     make(map[history.Key][]history.TxnID),
 		knownKeys:   make(map[history.Key]bool),
@@ -346,8 +348,8 @@ func (inc *Incremental) Audit() *Report { return inc.AuditContext(context.Backgr
 // delta it absorbed, the warm solver (if any) stays sound (interruption
 // never unlearns clauses), and a later audit simply retries the solve.
 func (inc *Incremental) AuditContext(ctx context.Context) *Report {
-	if inc.opts.Level == ReadCommitted {
-		return checkReadCommitted(inc.h)
+	if inc.opts.Level.Polynomial() {
+		return checkPolynomial(inc.h, inc.opts)
 	}
 	auditReg := inc.opts.Tracer.Start("audit")
 	auditReg.SetAttr("audit", int64(inc.audits))
@@ -359,6 +361,26 @@ func (inc *Incremental) AuditContext(ctx context.Context) *Report {
 	conReg := inc.opts.Tracer.Start("construct")
 	inc.update()
 	regenWall, regenCPU, workers := inc.regen()
+
+	// G1b screen (ra.go): an intermediate read can never replay under any
+	// event schedule (commits install last-write-per-key, so VerifyWitness
+	// would fail the accept), and the polygraph conflates a transaction's
+	// writes of a key into its final version — without this screen the
+	// solver could accept what PL-2 rejects, breaking the isolation
+	// lattice's RC ⊂ AdyaSI monotonicity. A read's named writer is
+	// immutable once appended, so only new transactions are scanned, and a
+	// hit is cached like any other rejection (G1b is prefix-monotone).
+	if inc.rejected == nil {
+		if ev := findG1b(inc.h, inc.g1bHigh); ev != nil {
+			inc.rejected = &Report{
+				Level:   inc.opts.Level,
+				Outcome: Reject,
+				Anomaly: ev.String(),
+				Nodes:   int(inc.numNodes()),
+			}
+		}
+	}
+	inc.g1bHigh = len(inc.h.Txns)
 
 	if inc.rejected != nil {
 		conReg.End()

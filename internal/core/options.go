@@ -44,6 +44,19 @@ const (
 	// BC-polygraphs". Provided for completeness; it bypasses the polygraph
 	// machinery entirely.
 	ReadCommitted
+	// ReadAtomic checks atomic visibility (Read Atomic of Cerone et al.,
+	// decided with the polynomial saturation of Biswas & Enea): PL-2 plus
+	// no fractured reads — a transaction that observes any write of T must
+	// observe T's final write of every key it reads, never an older
+	// version. Polynomial time, no solver.
+	ReadAtomic
+	// Causal checks transactional causal consistency (again polynomial per
+	// Biswas & Enea): Read Atomic strengthened so the whole causal past —
+	// the transitive closure of write-read dependencies, not just the
+	// direct ones — must be observed consistently. Session guarantees are
+	// deliberately excluded (as in AdyaSI), keeping the lattice chain
+	// RC ⊂ RA ⊂ Causal ⊂ AdyaSI sound for the verdict matrix.
+	Causal
 )
 
 // String implements fmt.Stringer.
@@ -61,6 +74,10 @@ func (l Level) String() string {
 		return "serializability"
 	case ReadCommitted:
 		return "read-committed"
+	case ReadAtomic:
+		return "read-atomic"
+	case Causal:
+		return "causal"
 	default:
 		return fmt.Sprintf("Level(%d)", uint8(l))
 	}
@@ -84,6 +101,10 @@ func ParseLevel(s string) (Level, bool) {
 		return Serializability, true
 	case "read-committed", "rc":
 		return ReadCommitted, true
+	case "read-atomic", "ra":
+		return ReadAtomic, true
+	case "causal", "cc":
+		return Causal, true
 	default:
 		return 0, false
 	}
@@ -92,6 +113,63 @@ func ParseLevel(s string) (Level, bool) {
 // needsRealTime reports whether the level adds real-time edges.
 func (l Level) needsRealTime() bool {
 	return l == GSI || l == StrongSessionSI || l == StrongSI
+}
+
+// Polynomial reports whether the level is decided by a direct polynomial
+// algorithm (readcommitted.go, ra.go, causal.go) instead of the
+// BC-polygraph + solver pipeline.
+func (l Level) Polynomial() bool {
+	return l == ReadCommitted || l == ReadAtomic || l == Causal
+}
+
+// chainRank places the logically-comparable levels on the lattice's main
+// chain; Serializability sits on its own branch above AdyaSI (stronger
+// than SI's logical obligations, incomparable with the real-time levels,
+// which permit write skew that Serializability forbids). -1 marks the
+// off-chain level.
+func (l Level) chainRank() int {
+	switch l {
+	case ReadCommitted:
+		return 0
+	case ReadAtomic:
+		return 1
+	case Causal:
+		return 2
+	case AdyaSI:
+		return 3
+	case GSI:
+		return 4
+	case StrongSessionSI:
+		return 5
+	case StrongSI:
+		return 6
+	default: // Serializability
+		return -1
+	}
+}
+
+// Implies reports whether satisfying level l implies satisfying w — the
+// lattice partial order the verdict matrix's short-circuiting relies on:
+// an Accept at l derives an Accept at every weaker w, a Reject at w
+// derives a Reject at every l that implies w. The order is
+//
+//	ReadCommitted ⊂ ReadAtomic ⊂ Causal ⊂ AdyaSI ⊂ GSI ⊂ StrongSessionSI ⊂ StrongSI
+//	                                      AdyaSI ⊂ Serializability
+//
+// with Serializability incomparable to the real-time branch (GSI and
+// stronger allow write skew; Serializability has no real-time
+// obligations).
+func (l Level) Implies(w Level) bool {
+	if l == w {
+		return true
+	}
+	if l == Serializability {
+		return w.chainRank() >= 0 && w.chainRank() <= AdyaSI.chainRank()
+	}
+	if w == Serializability {
+		return false
+	}
+	return l.chainRank() >= w.chainRank()
 }
 
 // Options configure checking. The zero value checks Adya SI with every

@@ -5,9 +5,25 @@ import (
 	"viper/internal/history"
 )
 
-// checkReadCommitted decides Read Committed (Adya's PL-2) in polynomial
-// time — the §9 observation that levels below SI "do not need viper or
-// BC-polygraphs". PL-2 proscribes:
+// checkPolynomial dispatches the polynomial levels — the §9 observation
+// that levels below SI "do not need viper or BC-polygraphs", extended to
+// Read Atomic and Causal per Biswas & Enea (ra.go, causal.go). One
+// observation index serves whichever level runs; the verdict matrix
+// (matrix.go) reuses a single index across all three.
+func checkPolynomial(h *history.History, opts Options) *Report {
+	g := buildObsGraph(h)
+	switch opts.Level {
+	case ReadAtomic:
+		return checkReadAtomicGraph(h, g, opts)
+	case Causal:
+		return checkCausalGraph(h, g, opts)
+	default:
+		return checkReadCommittedGraph(h, g, opts)
+	}
+}
+
+// checkReadCommittedGraph decides Read Committed (Adya's PL-2) in
+// polynomial time. PL-2 proscribes:
 //
 //   - G1a, reads of aborted writes — already rejected by history
 //     validation before this code runs;
@@ -18,62 +34,42 @@ import (
 //     wr-cycle alone already violates PL-2).
 //
 // No solving is involved: G1b is a linear scan and G1c a DFS over the
-// read-dependency graph.
-func checkReadCommitted(h *history.History) *Report {
+// read-dependency graph. On Accept the witness is any topological order
+// of that graph — the commit order PL-2's information flow demands.
+func checkReadCommittedGraph(h *history.History, g *obsGraph, opts Options) *Report {
 	rep := &Report{Level: ReadCommitted, Outcome: Accept}
 
-	// G1b: a read observing a committed transaction's intermediate write.
-	for _, t := range h.Txns[1:] {
-		if !t.Committed() {
-			continue
-		}
-		bad := false
-		t.ExternalReads(func(key history.Key, obs history.WriteID) {
-			if bad || obs == history.GenesisWriteID {
-				return
-			}
-			ref, ok := h.WriterOf(obs)
-			if !ok || ref.Txn == history.GenesisID {
-				return
-			}
-			writer := h.Txns[ref.Txn]
-			if last, wrote := writer.LastWritePerKey()[key]; wrote && last != ref.Op {
-				bad = true
-			}
-		})
-		if bad {
-			rep.Outcome = Reject
-			return rep
-		}
+	if ev := g.firstG1b(); ev != nil {
+		rep.Outcome = Reject
+		rep.Anomaly = ev.String()
+		return rep
 	}
 
-	// G1c: cycles of read dependencies. Build the wr graph over
-	// transactions and look for a cycle.
-	out := make([][]int32, len(h.Txns))
-	edgeKey := make(map[Edge]history.Key)
-	for _, t := range h.Txns[1:] {
-		if !t.Committed() {
-			continue
-		}
-		t.ExternalReads(func(key history.Key, obs history.WriteID) {
-			ref, ok := h.WriterOf(obs)
-			if !ok || ref.Txn == history.GenesisID || ref.Txn == t.ID {
-				return
-			}
-			e := Edge{int32(ref.Txn), int32(t.ID)}
-			if _, dup := edgeKey[e]; !dup {
-				edgeKey[e] = key
-				out[e.From] = append(out[e.From], e.To)
-			}
-		})
-	}
 	rep.Nodes = len(h.Txns)
-	rep.KnownEdges = len(edgeKey)
-	if cyc := acyclic.FindCycle(len(h.Txns), out); cyc != nil {
+	rep.KnownEdges = len(g.wrKey)
+	if cyc := acyclic.FindCycle(len(h.Txns), g.wrOut); cyc != nil {
 		rep.Outcome = Reject
 		for i := range cyc {
 			e := Edge{cyc[i], cyc[(i+1)%len(cyc)]}
-			rep.KnownCycle = append(rep.KnownCycle, KnownEdge{Edge: e, Kind: EdgeWR, Key: edgeKey[e]})
+			rep.KnownCycle = append(rep.KnownCycle, KnownEdge{Edge: e, Kind: EdgeWR, Key: g.wrKey[e]})
+		}
+		if opts.SelfCheck {
+			if err := verifyCoCycle(h, rep.KnownCycle, ReadCommitted); err != nil {
+				rep.SelfCheckErr = err
+			} else {
+				rep.WitnessVerified = true
+			}
+		}
+		return rep
+	}
+	if order, ok := acyclic.TopoBFS(len(h.Txns), g.wrOut, nil); ok {
+		rep.WitnessPositions = positionsOf(order)
+		if opts.SelfCheck {
+			if err := VerifyWitness(h, rep.WitnessPositions, ReadCommitted); err != nil {
+				rep.SelfCheckErr = err
+			} else {
+				rep.WitnessVerified = true
+			}
 		}
 	}
 	return rep

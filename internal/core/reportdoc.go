@@ -8,6 +8,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"viper/internal/history"
@@ -98,19 +99,106 @@ func BuildReportDoc(tool, path string, h *history.History, parse time.Duration, 
 		ReorderedNodes: rep.ReorderedNodes,
 	}
 	doc.WitnessVerified = rep.WitnessVerified
+	doc.Anomaly = rep.Anomaly
 	if rep.KnownCycle != nil && h != nil {
-		pg := Build(h, opts)
-		for _, ke := range rep.KnownCycle {
-			doc.KnownCycle = append(doc.KnownCycle, obs.CycleEdge{
-				From: pg.NodeName(ke.From),
-				To:   pg.NodeName(ke.To),
-				Kind: ke.Kind.String(),
-				Key:  string(ke.Key),
-			})
-		}
+		doc.KnownCycle = renderCycle(h, rep.KnownCycle, opts)
 	}
 	final := rep.Snapshot()
 	final.Txns = doc.History.Txns
 	doc.Final = &final
+	return doc
+}
+
+// renderCycle maps a counterexample cycle onto named edges. The
+// polynomial levels' nodes are transaction ids of the forced commit-order
+// relation; the solver levels' nodes are polygraph event nodes, named by
+// a polygraph built at the report's level (real-time levels put auxiliary
+// nodes in cycles, so the mapping must match).
+func renderCycle(h *history.History, cycle []KnownEdge, opts Options) []obs.CycleEdge {
+	name := func(n int32) string { return txnNodeName(h, n) }
+	if !opts.Level.Polynomial() {
+		pg := Build(h, opts)
+		name = pg.NodeName
+	}
+	out := make([]obs.CycleEdge, 0, len(cycle))
+	for _, ke := range cycle {
+		out = append(out, obs.CycleEdge{
+			From: name(ke.From),
+			To:   name(ke.To),
+			Kind: ke.Kind.String(),
+			Key:  string(ke.Key),
+		})
+	}
+	return out
+}
+
+// txnNodeName renders a transaction-id node (the polynomial levels'
+// commit-order graph), honoring checkpoint external ids like the
+// polygraph's NodeName does.
+func txnNodeName(h *history.History, n int32) string {
+	if f := h.Fence(); f != nil {
+		return fmt.Sprintf("T%d", f.ExternalID(history.TxnID(n)))
+	}
+	return fmt.Sprintf("T%d", n)
+}
+
+// BuildMatrixDoc assembles the exportable report document for one matrix
+// audit. The document's Level is "matrix" and its Outcome the aggregate
+// verdict; the per-level rows live under Matrix. Graph, Solver, Phases,
+// and Final carry the primary (AdyaSI) check's counters, so matrix
+// documents remain comparable with single-level SI documents. mr may be
+// nil when violation is set.
+func BuildMatrixDoc(tool, path string, h *history.History, parse time.Duration, mr *MatrixReport, violation error, opts Options, tracer *obs.Tracer) *obs.ReportDoc {
+	siOpts := opts
+	siOpts.Level = AdyaSI
+	var siRep *Report
+	if mr != nil {
+		if v := mr.Verdict(AdyaSI); v != nil {
+			siRep = v.Report
+		}
+	}
+	doc := BuildReportDoc(tool, path, h, parse, siRep, violation, siOpts, tracer)
+	doc.Level = "matrix"
+	if violation != nil || mr == nil {
+		return doc
+	}
+	doc.Outcome = mr.Outcome().String()
+	// The top-level evidence fields describe the primary check; each row
+	// carries its own.
+	doc.Anomaly, doc.KnownCycle, doc.WitnessVerified = "", nil, false
+
+	mi := &obs.MatrixInfo{
+		Violated:  mr.Violated,
+		Satisfied: mr.Satisfied,
+		Checked:   mr.Checked,
+		WallNS:    int64(mr.Wall),
+	}
+	if mr.Violated {
+		mi.WeakestViolated = mr.WeakestViolated.String()
+	}
+	if mr.Satisfied {
+		mi.StrongestSatisfied = mr.StrongestSatisfied.String()
+	}
+	for i := range mr.Verdicts {
+		v := &mr.Verdicts[i]
+		row := obs.MatrixRow{Level: v.Level.String(), Outcome: v.Outcome.String()}
+		if v.Derived {
+			row.Derived, row.From = true, v.From.String()
+		}
+		if rep := v.Report; rep != nil {
+			row.Anomaly = rep.Anomaly
+			row.WitnessVerified = rep.WitnessVerified
+			row.Nodes = rep.Nodes
+			row.KnownEdges = rep.KnownEdges
+			row.Constraints = rep.Constraints
+			if rep.KnownCycle != nil && h != nil {
+				lvlOpts := opts
+				lvlOpts.Level = v.Level
+				row.KnownCycle = renderCycle(h, rep.KnownCycle, lvlOpts)
+			}
+		}
+		mi.Rows = append(mi.Rows, row)
+	}
+	doc.Matrix = mi
 	return doc
 }

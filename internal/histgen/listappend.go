@@ -1,0 +1,125 @@
+package histgen
+
+import (
+	"math/rand"
+
+	"viper/internal/history"
+)
+
+// ListAppend generates a history in the style of Elle's list-append
+// workload: every write is a read-modify-write that first reads the
+// key's current head — appending to a per-key list — so the complete
+// per-key version order is manifested by the history's own reads
+// instead of left to version-order inference. The schedule sampler is
+// the same as SI's (reads at begin, writes at commit, first committer
+// wins), so the result is snapshot isolation by construction; what
+// changes is the observability of the write order, which makes these
+// histories the sharpest differential-testing carriers: a checker that
+// mis-infers version order has nowhere to hide.
+//
+// ReadsPerTxn bounds the extra read-only operations per transaction (on
+// keys the transaction does not write; its writes carry their own
+// manifest reads). The returned history is validated.
+func ListAppend(spec Spec) *history.History {
+	spec = spec.withDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	h := history.New()
+
+	committed := make(map[history.Key]history.WriteID) // current head per key
+	var clock int64
+	tick := func() int64 { clock++; return clock }
+
+	sessions := make([]int32, spec.MaxConcurrency)
+	freeSessions := make([]int, 0, spec.MaxConcurrency)
+	for i := 0; i < spec.MaxConcurrency; i++ {
+		freeSessions = append(freeSessions, i)
+	}
+
+	nextWID := history.WriteID(1)
+	var inFlight []*active
+	begun := 0
+
+	beginOne := func() {
+		sess := freeSessions[len(freeSessions)-1]
+		freeSessions = freeSessions[:len(freeSessions)-1]
+		t := &history.Txn{
+			Session:      int32(sess),
+			SeqInSession: sessions[sess],
+			BeginAt:      tick(),
+		}
+		sessions[sess]++
+		a := &active{txn: t, session: sess,
+			writes:   make(map[history.Key]history.WriteID),
+			snapshot: make(map[history.Key]history.WriteID)}
+
+		// Appends: each write reads the key's committed head at begin
+		// before overwriting it, manifesting the predecessor.
+		nw := rng.Intn(spec.WritesPerTxn + 1)
+		for i := 0; i < nw; i++ {
+			k := key(rng.Intn(spec.Keys))
+			if _, dup := a.writes[k]; dup {
+				continue
+			}
+			obs := committed[k]
+			a.snapshot[k] = obs
+			t.Ops = append(t.Ops, history.Op{Kind: history.OpRead, Key: k, Observed: obs})
+			wid := nextWID
+			nextWID++
+			a.writes[k] = wid
+			t.Ops = append(t.Ops, history.Op{Kind: history.OpWrite, Key: k, WriteID: wid})
+		}
+		// Plain reads on keys this transaction does not append to (its
+		// appends already read their keys).
+		nr := rng.Intn(spec.ReadsPerTxn + 1)
+		for i := 0; i < nr; i++ {
+			k := key(rng.Intn(spec.Keys))
+			if _, writes := a.writes[k]; writes {
+				continue
+			}
+			obs := committed[k]
+			a.snapshot[k] = obs
+			t.Ops = append(t.Ops, history.Op{Kind: history.OpRead, Key: k, Observed: obs})
+		}
+		inFlight = append(inFlight, a)
+		begun++
+	}
+
+	finishOne := func(idx int) {
+		a := inFlight[idx]
+		inFlight = append(inFlight[:idx], inFlight[idx+1:]...)
+		a.txn.CommitAt = tick()
+		abort := a.doomed
+		if !abort && spec.AbortEvery > 0 && rng.Intn(spec.AbortEvery) == 0 {
+			abort = true
+		}
+		if abort {
+			a.txn.Status = history.StatusAborted
+		} else {
+			a.txn.Status = history.StatusCommitted
+			for k, wid := range a.writes {
+				committed[k] = wid
+				for _, other := range inFlight {
+					if _, conflicts := other.writes[k]; conflicts {
+						other.doomed = true
+					}
+				}
+			}
+		}
+		h.Append(a.txn)
+		freeSessions = append(freeSessions, a.session)
+	}
+
+	for begun < spec.Txns || len(inFlight) > 0 {
+		canBegin := begun < spec.Txns && len(inFlight) < spec.MaxConcurrency
+		if canBegin && (len(inFlight) == 0 || rng.Intn(2) == 0) {
+			beginOne()
+		} else {
+			finishOne(rng.Intn(len(inFlight)))
+		}
+	}
+
+	if err := h.Validate(); err != nil {
+		panic("histgen: generated list-append history does not validate: " + err.Error())
+	}
+	return h
+}

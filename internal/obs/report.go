@@ -113,6 +113,40 @@ type CycleEdge struct {
 	Key  string `json:"key,omitempty"`
 }
 
+// MatrixRow is one isolation level's verdict within a matrix audit.
+type MatrixRow struct {
+	Level   string `json:"level"`
+	Outcome string `json:"outcome"`
+	// Derived marks a verdict implied by lattice monotonicity instead of
+	// checked directly; From names the implying level.
+	Derived bool   `json:"derived,omitempty"`
+	From    string `json:"from,omitempty"`
+	// Anomaly / KnownCycle / WitnessVerified carry the level's evidence
+	// when the level ran its own check.
+	Anomaly         string      `json:"anomaly,omitempty"`
+	KnownCycle      []CycleEdge `json:"known_cycle,omitempty"`
+	WitnessVerified bool        `json:"witness_verified,omitempty"`
+	Nodes           int         `json:"nodes,omitempty"`
+	KnownEdges      int         `json:"known_edges,omitempty"`
+	Constraints     int         `json:"constraints,omitempty"`
+}
+
+// MatrixInfo is the verdict matrix of a matrix audit: one row per checked
+// level (in lattice order) plus the summary.
+type MatrixInfo struct {
+	Rows []MatrixRow `json:"rows"`
+	// Violated / WeakestViolated: whether any level rejected and, if so,
+	// the weakest rejecting level — the headline anomaly classification.
+	Violated        bool   `json:"violated"`
+	WeakestViolated string `json:"weakest_violated,omitempty"`
+	// Satisfied / StrongestSatisfied mirror that for accepts.
+	Satisfied          bool   `json:"satisfied"`
+	StrongestSatisfied string `json:"strongest_satisfied,omitempty"`
+	// Checked counts levels that ran their own check this audit.
+	Checked int   `json:"checked"`
+	WallNS  int64 `json:"wall_ns"`
+}
+
 // ReportDoc is the versioned machine-readable report the CLIs emit
 // (-report-json): verdict, history and graph statistics, the Figure 10
 // phase decomposition, solver counters, any counterexample, the final
@@ -137,8 +171,18 @@ type ReportDoc struct {
 	Phases PhaseInfo  `json:"phases"`
 	Solver SolverInfo `json:"solver"`
 
+	// Anomaly names a polynomially-detected anomaly (e.g. a G1b
+	// intermediate read) that rejected the history before graph analysis.
+	Anomaly         string      `json:"anomaly,omitempty"`
 	KnownCycle      []CycleEdge `json:"known_cycle,omitempty"`
 	WitnessVerified bool        `json:"witness_verified,omitempty"`
+
+	// Matrix is present on matrix audits (-matrix / ?matrix=1): the
+	// per-level verdicts; Level is then "matrix" and Outcome the
+	// aggregate (reject if any level rejected, else timeout if any timed
+	// out, else accept). Graph/Solver/Phases/Final describe the primary
+	// (snapshot-isolation) check of the pass.
+	Matrix *MatrixInfo `json:"matrix,omitempty"`
 
 	// Checkpoint describes the session's checkpoint certificate; absent
 	// when the session never checkpointed.
@@ -180,6 +224,9 @@ func (d *ReportDoc) Normalize() {
 	d.ToolVersion = ""
 	d.History.Path = ""
 	d.Phases = PhaseInfo{}
+	if d.Matrix != nil {
+		d.Matrix.WallNS = 0
+	}
 	if d.Final != nil {
 		d.Final.ElapsedNS = 0
 		d.Final.HeapInUse = 0

@@ -177,7 +177,19 @@ func (c *Client) Complete(ctx context.Context, id string) (AppendResult, error) 
 // returns the report with Outcome "timeout" alongside an HTTP 504
 // *APIError-free success (the document itself carries the verdict).
 func (c *Client) Audit(ctx context.Context, id string) (*obs.ReportDoc, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sessions/"+id+"/audit", nil)
+	return c.audit(ctx, id, "")
+}
+
+// AuditMatrix runs a verdict-matrix audit (?matrix=1): every isolation
+// level of the lattice in one pass, the same document `viper -matrix
+// -report-json` emits. The document's Level is "matrix", its Outcome the
+// aggregate verdict, and the per-level rows live under Matrix.
+func (c *Client) AuditMatrix(ctx context.Context, id string) (*obs.ReportDoc, error) {
+	return c.audit(ctx, id, "?matrix=1")
+}
+
+func (c *Client) audit(ctx context.Context, id, query string) (*obs.ReportDoc, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sessions/"+id+"/audit"+query, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,8 @@
 //	DELETE /v1/sessions/{id}          delete a session
 //	POST   /v1/sessions/{id}/append   stream history chunks (?complete=1 to finish)
 //	POST   /v1/sessions/{id}/audit    run an audit, returns an obs.ReportDoc
+//	                                  (?matrix=1 audits the whole isolation-
+//	                                  level verdict matrix instead)
 //	GET    /v1/sessions/{id}/progress live progress snapshot of a running audit
 //	GET    /healthz                   liveness + version
 //	GET    /metrics                   text key/value counters
@@ -32,6 +34,7 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -362,7 +365,9 @@ type SessionConfig struct {
 	// always server-assigned and unique).
 	Name string `json:"name,omitempty"`
 	// Level is the isolation level to check ("si", "gsi", "sssi",
-	// "strong-si", "ser", "rc"); default "si".
+	// "strong-si", "ser", "rc", "read-atomic", "causal"); default "si".
+	// Matrix audits (?matrix=1) always cover every lattice level and
+	// ignore the session level.
 	Level string `json:"level,omitempty"`
 	// ClockDriftNS is the real-time levels' drift bound in nanoseconds.
 	ClockDriftNS int64 `json:"clock_drift_ns,omitempty"`
@@ -581,6 +586,11 @@ func (s *Server) handleAudit(w http.ResponseWriter, req *http.Request) {
 		s.preAudit(id, ctx)
 	}
 
+	if q := req.URL.Query().Get("matrix"); q == "1" || q == "true" {
+		s.auditMatrix(w, ctx, sess)
+		return
+	}
+
 	sess.mu.Lock()
 	res, doc := sess.audit(ctx)
 	sess.mu.Unlock()
@@ -613,6 +623,33 @@ func (s *Server) handleAudit(w http.ResponseWriter, req *http.Request) {
 	if res.Outcome == core.Timeout && ctx.Err() != nil {
 		// The request deadline (or the client's disconnect) interrupted the
 		// solve; 504 distinguishes that from a genuine verdict.
+		writeJSON(w, http.StatusGatewayTimeout, doc)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// auditMatrix is handleAudit's ?matrix=1 tail: one verdict-matrix pass
+// over the session, with per-level outcome counters on /metrics
+// (viperd_matrix_<level>_<outcome>_total — derived verdicts count the
+// same as checked ones, so scrapes see the full matrix every audit).
+func (s *Server) auditMatrix(w http.ResponseWriter, ctx context.Context, sess *session) {
+	sess.mu.Lock()
+	res, doc := sess.auditMatrix(ctx)
+	sess.mu.Unlock()
+	sess.touch()
+
+	s.metrics.Add("viperd_audits_total", 1)
+	s.metrics.Add("viperd_matrix_audits_total", 1)
+	s.metrics.Add("viperd_audits_"+res.Outcome.String()+"_total", 1)
+	if mr := res.Matrix; mr != nil {
+		for i := range mr.Verdicts {
+			v := &mr.Verdicts[i]
+			lvl := strings.ReplaceAll(v.Level.String(), "-", "_")
+			s.metrics.Add("viperd_matrix_"+lvl+"_"+v.Outcome.String()+"_total", 1)
+		}
+	}
+	if res.Outcome == core.Timeout && ctx.Err() != nil {
 		writeJSON(w, http.StatusGatewayTimeout, doc)
 		return
 	}

@@ -289,6 +289,96 @@ func TestAuditVerdicts(t *testing.T) {
 	}
 }
 
+// TestAuditMatrix drives the ?matrix=1 audit mode: the response is the
+// verdict-matrix document (Level "matrix", one row per lattice level),
+// and /metrics gains one per-level outcome counter per audit.
+func TestAuditMatrix(t *testing.T) {
+	srv, cl := start(t, Config{})
+	ctx := context.Background()
+
+	// A lost update: accepted by the polynomial chain (RC, RA, Causal),
+	// rejected from AdyaSI up.
+	b := history.NewBuilder()
+	s1, s2, s3 := b.Session(), b.Session(), b.Session()
+	w := s1.Txn().Write("x").Commit()
+	s2.Txn().ReadObserved("x", w.WriteIDOf("x")).Write("x").Commit()
+	s3.Txn().ReadObserved("x", w.WriteIDOf("x")).Write("x").Commit()
+	info, err := cl.CreateSession(ctx, SessionConfig{Level: "si"})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := cl.Append(ctx, info.ID, bytes.NewReader(encode(t, b.MustHistory())), true); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	doc, err := cl.AuditMatrix(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("audit matrix: %v", err)
+	}
+	if doc.Level != "matrix" || doc.Outcome != "reject" {
+		t.Fatalf("doc level=%q outcome=%q, want matrix/reject", doc.Level, doc.Outcome)
+	}
+	if doc.Matrix == nil {
+		t.Fatal("matrix audit response has no matrix section")
+	}
+	if doc.Matrix.WeakestViolated != "adya-si" || doc.Matrix.StrongestSatisfied != "causal" {
+		t.Fatalf("weakest=%q strongest=%q", doc.Matrix.WeakestViolated, doc.Matrix.StrongestSatisfied)
+	}
+	if len(doc.Matrix.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(doc.Matrix.Rows))
+	}
+	want := map[string]string{
+		"read-committed":  "accept",
+		"read-atomic":     "accept",
+		"causal":          "accept",
+		"adya-si":         "reject",
+		"gsi":             "reject",
+		"serializability": "reject",
+	}
+	for _, row := range doc.Matrix.Rows {
+		if row.Outcome != want[row.Level] {
+			t.Fatalf("level %s = %q, want %q", row.Level, row.Outcome, want[row.Level])
+		}
+	}
+
+	// Per-level outcome counters, hyphens mapped to underscores.
+	m := srv.Metrics().Snapshot()
+	for metric, n := range map[string]int64{
+		"viperd_matrix_audits_total":                 1,
+		"viperd_audits_reject_total":                 1,
+		"viperd_matrix_read_committed_accept_total":  1,
+		"viperd_matrix_read_atomic_accept_total":     1,
+		"viperd_matrix_causal_accept_total":          1,
+		"viperd_matrix_adya_si_reject_total":         1,
+		"viperd_matrix_gsi_reject_total":             1,
+		"viperd_matrix_serializability_reject_total": 1,
+	} {
+		if m[metric] != n {
+			t.Errorf("%s = %d, want %d", metric, m[metric], n)
+		}
+	}
+
+	// An accepting session: a serial single-writer history satisfies
+	// every level, and the matrix audit says so in one pass.
+	b2 := history.NewBuilder()
+	sess := b2.Session()
+	w2 := sess.Txn().Write("a").Commit()
+	sess.Txn().ReadObserved("a", w2.WriteIDOf("a")).Write("a").Commit()
+	okInfo, err := cl.CreateSession(ctx, SessionConfig{})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := cl.Append(ctx, okInfo.ID, bytes.NewReader(encode(t, b2.MustHistory())), true); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	doc, err = cl.AuditMatrix(ctx, okInfo.ID)
+	if err != nil {
+		t.Fatalf("audit matrix: %v", err)
+	}
+	if doc.Outcome != "accept" || !doc.Matrix.Satisfied || doc.Matrix.StrongestSatisfied != "serializability" {
+		t.Fatalf("accepting matrix = outcome %q, matrix %+v", doc.Outcome, doc.Matrix)
+	}
+}
+
 // TestAuditDeadlineReturns504 pins the request-deadline path: with a
 // nanosecond audit budget the solve is interrupted before it starts and
 // the response is a 504 whose document still carries outcome "timeout".

@@ -91,10 +91,19 @@ type (
 	Outcome = core.Outcome
 	// Report carries the checker's detailed statistics and phase timings.
 	Report = core.Report
+	// MatrixReport is the per-level verdict matrix of CheckMatrix /
+	// Checker.AuditMatrix: one LevelVerdict per entry of MatrixLevels.
+	MatrixReport = core.MatrixReport
+	// LevelVerdict is one isolation level's row of a MatrixReport.
+	LevelVerdict = core.LevelVerdict
 	// Certificate summarizes a session's checkpoint certificate: what a
 	// Checker compacted away and what the fence costs to carry.
 	Certificate = core.Certificate
 )
+
+// MatrixLevels is the verdict matrix's evaluation set, weakest-first:
+// ReadCommitted, ReadAtomic, Causal, AdyaSI, GSI, Serializability.
+var MatrixLevels = core.MatrixLevels
 
 // Re-exported observability layer (see package obs): live progress
 // snapshots via Options.Progress / Checker.Progress, and phase-scoped
@@ -130,6 +139,11 @@ const (
 	Serializability = core.Serializability
 	// ReadCommitted checks Adya's PL-2 (polynomial time, no solver).
 	ReadCommitted = core.ReadCommitted
+	// ReadAtomic checks atomic visibility (polynomial time, no solver).
+	ReadAtomic = core.ReadAtomic
+	// Causal checks transactional causal consistency (polynomial time, no
+	// solver; session guarantees excluded — see the core documentation).
+	Causal = core.Causal
 )
 
 // Outcomes.
@@ -189,6 +203,43 @@ func CheckContext(ctx context.Context, h *History, opts Options) *Result {
 	parse := time.Since(start)
 	rep := core.CheckHistoryContext(ctx, h, opts)
 	return &Result{Outcome: rep.Outcome, Report: rep, ParseTime: parse}
+}
+
+// MatrixResult is the outcome of CheckMatrix: the aggregate verdict plus
+// either a validation-level violation or the full per-level matrix.
+type MatrixResult struct {
+	// Outcome aggregates the matrix: Reject if any level rejected, else
+	// Timeout if any level timed out, else Accept.
+	Outcome Outcome
+	// Violation is non-nil when the history failed validation; such
+	// histories are rejected before any level runs and Matrix is nil.
+	Violation error
+	// Matrix holds every level's verdict, the weakest violated level, and
+	// per-level witnesses/counterexamples.
+	Matrix *MatrixReport
+	// ParseTime is the time spent loading/validating the history.
+	ParseTime time.Duration
+}
+
+// CheckMatrix validates the history once and decides every MatrixLevels
+// verdict over that single ingest — Read Committed through
+// Serializability — short-circuiting with lattice monotonicity instead of
+// running six independent checks. opts.Level is ignored.
+func CheckMatrix(h *History, opts Options) *MatrixResult {
+	return CheckMatrixContext(context.Background(), h, opts)
+}
+
+// CheckMatrixContext is CheckMatrix under a cancellation context: ctx
+// bounds the whole pass, while opts.Timeout budgets each level's check
+// separately.
+func CheckMatrixContext(ctx context.Context, h *History, opts Options) *MatrixResult {
+	start := time.Now()
+	if err := h.Validate(); err != nil {
+		return &MatrixResult{Outcome: Reject, Violation: err, ParseTime: time.Since(start)}
+	}
+	parse := time.Since(start)
+	mr := core.CheckMatrixContext(ctx, h, opts)
+	return &MatrixResult{Outcome: mr.Outcome(), Matrix: mr, ParseTime: parse}
 }
 
 // CheckFile loads a history log (see WriteHistory) and checks it.

@@ -97,6 +97,69 @@ func TestLevelsRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAuditMatrixIncrementalDifferential pins the facade contract: after
+// every append batch, Checker.AuditMatrix (warm matrix session) returns
+// exactly the per-level outcomes of a one-shot CheckMatrix over a
+// snapshot of the same transactions.
+func TestAuditMatrixIncrementalDifferential(t *testing.T) {
+	h, _, err := RunWorkload(NewBlindWRW(), RunConfig{Clients: 4, Txns: 36, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChecker(Options{})
+	for i := 1; i < len(h.Txns); {
+		end := i + 9
+		if end > len(h.Txns) {
+			end = len(h.Txns)
+		}
+		c.Append(h.Txns[i:end]...)
+		i = end
+		got := c.AuditMatrix()
+		want := CheckMatrix(c.History(), Options{})
+		if got.Outcome != want.Outcome || got.Matrix == nil || want.Matrix == nil {
+			t.Fatalf("after %d txns: warm %v, one-shot %v", c.Len(), got.Outcome, want.Outcome)
+		}
+		for _, l := range MatrixLevels {
+			gv, wv := got.Matrix.Verdict(l), want.Matrix.Verdict(l)
+			if gv.Outcome != wv.Outcome {
+				t.Fatalf("after %d txns, %v: warm %v, one-shot %v", c.Len(), l, gv.Outcome, wv.Outcome)
+			}
+		}
+	}
+}
+
+// TestAuditMatrixAfterCheckpoint: compaction replaces the session's
+// history object; the matrix session must re-bind and keep matching
+// one-shot checks over the compacted snapshot.
+func TestAuditMatrixAfterCheckpoint(t *testing.T) {
+	h, _, err := RunWorkload(NewBlindWRW(), RunConfig{Clients: 4, Txns: 60, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChecker(Options{})
+	c.AppendHistory(h)
+	if mr := c.AuditMatrix(); mr.Outcome != Accept {
+		t.Fatalf("pre-checkpoint matrix: %v", mr.Outcome)
+	}
+	if res := c.Audit(); res.Outcome != Accept {
+		t.Fatalf("audit: %v", res.Outcome)
+	}
+	n, err := c.Checkpoint(10)
+	if err != nil || n == 0 {
+		t.Fatalf("checkpoint: n=%d err=%v", n, err)
+	}
+	got := c.AuditMatrix()
+	want := CheckMatrix(c.History(), Options{})
+	if got.Outcome != Accept || want.Outcome != Accept {
+		t.Fatalf("post-checkpoint: warm %v, one-shot %v", got.Outcome, want.Outcome)
+	}
+	for _, l := range MatrixLevels {
+		if g, w := got.Matrix.Verdict(l).Outcome, want.Matrix.Verdict(l).Outcome; g != w {
+			t.Fatalf("post-checkpoint %v: warm %v, one-shot %v", l, g, w)
+		}
+	}
+}
+
 // TestStressLargeHistory is the end-to-end stress test at the paper's
 // mid-range scale (5k transactions, 24 clients): generation, persistence,
 // reload, checking at two levels, and anomaly rejection. Skipped with
