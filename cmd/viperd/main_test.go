@@ -114,3 +114,107 @@ func TestServeAndGracefulShutdown(t *testing.T) {
 		t.Fatalf("no shutdown log; stderr %q", stderr.String())
 	}
 }
+
+// bootNode starts a daemon with extra flags on an ephemeral port and
+// returns its base URL, exit channel, and cancel.
+func bootNode(t *testing.T, extra ...string) (base string, done chan int, stderr *syncWriter, cancel context.CancelFunc) {
+	t.Helper()
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	stdout := &syncWriter{}
+	stderr = &syncWriter{}
+	done = make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-quiet"}, extra...)
+	go func() { done <- run(ctx, args, stdout, stderr) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			base = m[1]
+			break
+		}
+		select {
+		case code := <-done:
+			cancelCtx()
+			t.Fatalf("daemon exited %d before listening; stderr %q", code, stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			cancelCtx()
+			t.Fatalf("daemon never reported its address; stderr %q", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return base, done, stderr, cancelCtx
+}
+
+func waitExit(t *testing.T, what string, done chan int, stderr *syncWriter) {
+	t.Helper()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("%s exited %d; stderr %q", what, code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("%s did not shut down; stderr %q", what, stderr.String())
+	}
+}
+
+func TestClusterFlagsMutuallyExclusive(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-coordinator", "-join", "http://127.0.0.1:1"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "mutually exclusive") {
+		t.Fatalf("stderr %q", errb.String())
+	}
+}
+
+func TestWorkerRefusesDeadCoordinator(t *testing.T) {
+	var out bytes.Buffer
+	errb := &syncWriter{}
+	// 127.0.0.1:1 is reserved and connection-refuses immediately.
+	if code := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-quiet", "-join", "http://127.0.0.1:1"}, &out, errb); code != 2 {
+		t.Fatalf("exit %d, want 2; stderr %q", code, errb.String())
+	}
+}
+
+// TestClusterBootAndJoin boots a coordinator and a worker from the real
+// flag surface, waits for membership, runs a distributed check through
+// the coordinator, and shuts both down cleanly.
+func TestClusterBootAndJoin(t *testing.T) {
+	coordURL, coordDone, coordErr, stopCoord := bootNode(t, "-coordinator", "-node-name", "c1", "-heartbeat", "50ms")
+	defer stopCoord()
+	_, wkDone, wkErr, stopWorker := bootNode(t, "-join", coordURL, "-node-name", "wA", "-heartbeat", "50ms")
+	defer stopWorker()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cl := server.NewClient(coordURL)
+
+	h, err := cl.Health(ctx)
+	if err != nil || h.Role != "coordinator" {
+		t.Fatalf("coordinator health = %+v, %v", h, err)
+	}
+	nodes, err := cl.ClusterNodes(ctx)
+	if err != nil || nodes.Coordinator != "c1" || len(nodes.Nodes) != 1 ||
+		nodes.Nodes[0].Name != "wA" || !nodes.Nodes[0].Healthy {
+		t.Fatalf("cluster nodes = %+v, %v", nodes, err)
+	}
+
+	var raw bytes.Buffer
+	if err := histio.Encode(&raw, histgen.SI(histgen.Spec{Txns: 60, Keys: 5, Seed: 9})); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := cl.ClusterCheck(ctx, bytes.NewReader(raw.Bytes()), server.SessionConfig{Level: "si"})
+	if err != nil || doc.Outcome != "accept" {
+		t.Fatalf("cluster check = %+v, %v", doc, err)
+	}
+	if doc.Cluster == nil || doc.Cluster.Workers != 1 || doc.Cluster.LocalFallbacks != 0 {
+		t.Fatalf("cluster section = %+v", doc.Cluster)
+	}
+
+	stopWorker()
+	waitExit(t, "worker", wkDone, wkErr)
+	stopCoord()
+	waitExit(t, "coordinator", coordDone, coordErr)
+}

@@ -1,0 +1,259 @@
+// Package cluster turns viperd daemons into a fleet: one coordinator
+// and any number of workers, joined over the same HTTP surface the
+// daemon already serves.
+//
+// Two independent capabilities share the membership machinery:
+//
+//   - Session routing (proxy.go): the coordinator places each checking
+//     session on a worker via a consistent-hash ring and transparently
+//     proxies the session's stream and audits there, so single-session
+//     throughput scales horizontally with zero client or checker
+//     changes.
+//
+//   - Sharded single-history checking (coordinator.go, worker.go): POST
+//     /cluster/check splits one huge history by key range across the
+//     fleet; each worker records its shard's polygraph emissions using
+//     the same record-and-replay seam the process-local sharded build
+//     uses, ships back a compact digest, and the coordinator replays
+//     the merged digests into the polygraph a single node would have
+//     built — byte-identical, so the verdict is too — and solves once.
+//
+// Membership is push-join (workers announce themselves and re-announce
+// periodically) plus pull-health (the coordinator heartbeats every
+// member's /healthz?probe=ready and routes around nodes that miss too
+// many probes). There is no consensus: the coordinator is the single
+// source of truth for the member set, and a coordinator restart
+// recovers membership from the workers' next re-announcements.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"regexp"
+	"time"
+
+	"viper/internal/core"
+	"viper/internal/histio"
+	"viper/internal/server"
+)
+
+// Config parametrizes both roles; the zero value is usable.
+type Config struct {
+	// NodeName identifies this node in the fleet (ring placement, metrics,
+	// shard attribution). Letters, digits, '-', '_', '.'; default "node".
+	NodeName string
+	// AdvertiseURL is the base URL peers reach this node at
+	// (e.g. "http://10.0.0.3:7457"). Workers must set it (cmd/viperd
+	// derives it from the listener when unset).
+	AdvertiseURL string
+	// VNodes is the ring's virtual-node count per member; default 64.
+	VNodes int
+	// HeartbeatInterval is the coordinator's probe period and the base of
+	// the workers' re-announce period; default 1s.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses marks a member unhealthy after this many consecutive
+	// failed probes; default 3. A later successful probe restores it.
+	HeartbeatMisses int
+	// ShardRetries bounds how many distinct nodes a shard is attempted on
+	// before the coordinator computes it locally; default 2.
+	ShardRetries int
+	// Logger receives membership and dispatch events; nil discards them.
+	Logger *log.Logger
+}
+
+var nodeNameRe = regexp.MustCompile(`^[a-zA-Z0-9._-]+$`)
+
+func (c Config) withDefaults() (Config, error) {
+	if c.NodeName == "" {
+		c.NodeName = "node"
+	}
+	if !nodeNameRe.MatchString(c.NodeName) {
+		return c, fmt.Errorf("cluster: node name %q (want letters, digits, '.', '_', '-')", c.NodeName)
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = time.Second
+	}
+	if c.HeartbeatMisses <= 0 {
+		c.HeartbeatMisses = 3
+	}
+	if c.ShardRetries <= 0 {
+		c.ShardRetries = 2
+	}
+	return c, nil
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Logger != nil {
+		c.Logger.Printf(format, args...)
+	}
+}
+
+// JoinRequest is the POST /cluster/join body a worker announces itself
+// with. Joins are idempotent: re-announcing refreshes the entry (and
+// lets a restarted coordinator rebuild its member set).
+type JoinRequest struct {
+	Name    string `json:"name"`
+	URL     string `json:"url"`
+	Version string `json:"version"`
+}
+
+// JoinResponse acknowledges a join.
+type JoinResponse struct {
+	Coordinator string `json:"coordinator"`
+	Version     string `json:"version"`
+	// HeartbeatNS tells the worker the coordinator's probe period, so its
+	// re-announce loop can pace itself accordingly.
+	HeartbeatNS int64 `json:"heartbeat_ns"`
+}
+
+// shardHeader is the first line of a POST /cluster/shard body; the rest
+// of the body is a histio stream of the key-sliced history. Only the
+// options that shape recording travel: level and the construction
+// toggles (solver-side options never reach workers).
+type shardHeader struct {
+	Level                string `json:"level"`
+	DisableCombineWrites bool   `json:"disable_combine_writes,omitempty"`
+	DisableCoalesce      bool   `json:"disable_coalesce,omitempty"`
+	Parallelism          int    `json:"parallelism,omitempty"`
+	// Keys is the shard's expected key count; the worker refuses a slice
+	// whose written-key set disagrees (a framing error caught before it
+	// could corrupt the merge).
+	Keys int `json:"keys"`
+}
+
+// shardResponse is the worker's digest: the per-key records whose
+// replay reproduces the worker's share of the polygraph.
+type shardResponse struct {
+	Node    string                `json:"node"`
+	Records []core.KeyShardRecord `json:"records"`
+}
+
+// recordOptions reduces opts to the fields that shape shard recording.
+func (h shardHeader) options() (core.Options, error) {
+	opts := core.Options{
+		DisableCombineWrites: h.DisableCombineWrites,
+		DisableCoalesce:      h.DisableCoalesce,
+		Parallelism:          h.Parallelism,
+	}
+	lvl, ok := core.ParseLevel(h.Level)
+	if !ok {
+		return opts, fmt.Errorf("unknown isolation level %q", h.Level)
+	}
+	opts.Level = lvl
+	return opts, nil
+}
+
+func headerFor(opts core.Options, keys int) shardHeader {
+	return shardHeader{
+		Level:                opts.Level.String(),
+		DisableCombineWrites: opts.DisableCombineWrites,
+		DisableCoalesce:      opts.DisableCoalesce,
+		Parallelism:          opts.Parallelism,
+		Keys:                 keys,
+	}
+}
+
+// ---- shared HTTP plumbing ----
+
+// apiError mirrors the server's JSON error body so cluster endpoints
+// are indistinguishable from the rest of the daemon's API.
+type apiError struct {
+	Error  string              `json:"error"`
+	Detail *histio.ErrorDetail `json:"detail,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	body := apiError{Error: err.Error()}
+	if d, ok := histio.Describe(err); ok {
+		body.Detail = &d
+	}
+	writeJSON(w, status, body)
+}
+
+// admissionStatus maps the server's admission errors onto the statuses
+// session audits use, so clients (and their retry policies) see one
+// uniform refusal surface.
+func admissionStatus(w http.ResponseWriter, err error) {
+	switch err {
+	case server.ErrSaturated:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case server.ErrShuttingDown:
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("canceled while queued: %v", err))
+	}
+}
+
+// postJSON POSTs body (which must be replayable for retries) and
+// decodes a JSON response into out, retrying 429/503 under policy.
+// Non-2xx responses come back as *server.APIError.
+func postJSON(ctx context.Context, hc *http.Client, url string, body io.ReadSeeker, contentType string, out any, policy server.RetryPolicy) error {
+	for attempt := 0; ; attempt++ {
+		err := postJSONOnce(ctx, hc, url, body, contentType, out)
+		ae, isAPI := err.(*server.APIError)
+		retryable := isAPI && (ae.Status == http.StatusTooManyRequests || ae.Status == http.StatusServiceUnavailable)
+		if !retryable || policy.MaxRetries <= 0 || attempt >= policy.MaxRetries {
+			return err
+		}
+		if _, serr := body.Seek(0, io.SeekStart); serr != nil {
+			return err
+		}
+		t := time.NewTimer(policy.Delay(attempt, ae.RetryAfter))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return err
+		}
+		t.Stop()
+	}
+}
+
+func postJSONOnce(ctx context.Context, hc *http.Client, url string, body io.Reader, contentType string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		ae := &server.APIError{Status: resp.StatusCode}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := time.ParseDuration(ra + "s"); err == nil {
+				ae.RetryAfter = secs
+			}
+		}
+		var body apiError
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body) == nil && body.Error != "" {
+			ae.Message, ae.Detail = body.Error, body.Detail
+		} else {
+			ae.Message = resp.Status
+		}
+		return ae
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"viper/internal/core"
+	"viper/internal/histgen"
+	"viper/internal/history"
+	"viper/internal/runner"
+	"viper/internal/workload"
+)
+
+func generated(t *testing.T, w workload.Generator, txns int, seed int64) *history.History {
+	t.Helper()
+	h, _, err := runner.Run(w, runner.Config{Clients: 8, Txns: txns, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestPartitionKeysCoversContiguously(t *testing.T) {
+	h := histgen.SI(histgen.Spec{Txns: 150, Keys: 17, MaxConcurrency: 5, Seed: 3})
+	for _, shards := range []int{1, 2, 3, 5, 16, 40} {
+		ranges := partitionKeys(h, shards)
+		if len(ranges) == 0 || len(ranges) > shards {
+			t.Fatalf("%d shards: got %d ranges", shards, len(ranges))
+		}
+		next := 0
+		for _, kr := range ranges {
+			if kr.lo != next || kr.hi <= kr.lo {
+				t.Fatalf("%d shards: range %+v not contiguous from %d or empty", shards, kr, next)
+			}
+			next = kr.hi
+		}
+		if next != len(h.Keys()) {
+			t.Fatalf("%d shards: ranges cover %d of %d keys", shards, next, len(h.Keys()))
+		}
+	}
+}
+
+// TestSliceRecordsEqualFull pins the property distributed checking
+// stands on: recording a shard's keys against the key-sliced history a
+// worker receives produces exactly the records a single node would
+// compute for those keys against the full history — including
+// workloads with range queries (whose absent-key genesis reads are
+// derived per shard) and read-modify-write chains.
+func TestSliceRecordsEqualFull(t *testing.T) {
+	histories := map[string]*history.History{
+		"histgen-si": histgen.SI(histgen.Spec{Txns: 200, Keys: 9, MaxConcurrency: 6, AbortEvery: 7, Seed: 5}),
+		"blindw-rw":  generated(t, workload.NewBlindWRW(), 250, 11),
+		"append-rmw": generated(t, workload.NewAppend(), 200, 13),
+		"range-b":    generated(t, workload.NewRangeB(), 180, 17),
+	}
+	for name, h := range histories {
+		for _, level := range []core.Level{core.AdyaSI, core.StrongSessionSI, core.Serializability} {
+			opts := core.Options{Level: level, Parallelism: 1}
+			full := core.BuildShardRecords(h, opts, h.Keys())
+			for _, shards := range []int{2, 3, 5} {
+				ranges := partitionKeys(h, shards)
+				for ri, kr := range ranges {
+					slice, touches, err := sliceHistory(h, kr)
+					if err != nil {
+						t.Fatalf("%s/%v: slicing range %d: %v", name, level, ri, err)
+					}
+					keys := h.Keys()[kr.lo:kr.hi]
+					if !reflect.DeepEqual(slice.Keys(), keys) {
+						t.Fatalf("%s/%v: slice keys %v, want %v", name, level, slice.Keys(), keys)
+					}
+					if !reflect.DeepEqual(touches, touchesByRange(h, kr)) {
+						t.Fatalf("%s/%v: touches vectors diverge for range %d", name, level, ri)
+					}
+					got := core.BuildShardRecords(slice, opts, slice.Keys())
+					want := full[kr.lo:kr.hi]
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s/%v shards=%d range=%d: slice records differ from full-history records",
+							name, level, shards, ri)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSliceKeepsSkeletons: every transaction survives slicing with its
+// identity intact, even when none of its operations touch the shard.
+func TestSliceKeepsSkeletons(t *testing.T) {
+	h := histgen.SI(histgen.Spec{Txns: 80, Keys: 8, MaxConcurrency: 4, AbortEvery: 5, Seed: 1})
+	ranges := partitionKeys(h, 4)
+	for _, kr := range ranges {
+		slice, touches, err := sliceHistory(h, kr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(slice.Txns) != len(h.Txns) {
+			t.Fatalf("slice has %d txns, want %d", len(slice.Txns), len(h.Txns))
+		}
+		sawEmpty := false
+		for i, orig := range h.Txns[1:] {
+			st := slice.Txns[i+1]
+			if st.ID != orig.ID || st.Session != orig.Session || st.SeqInSession != orig.SeqInSession ||
+				st.BeginAt != orig.BeginAt || st.CommitAt != orig.CommitAt || st.Status != orig.Status {
+				t.Fatalf("txn %d skeleton changed in slice", orig.ID)
+			}
+			if len(st.Ops) == 0 {
+				sawEmpty = true
+				if touches[st.ID] {
+					t.Fatalf("txn %d marked touching but has no ops", st.ID)
+				}
+			}
+		}
+		if !sawEmpty {
+			t.Logf("range %+v: every txn touches the shard (histories this dense are fine, just noting)", kr)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over node names with virtual nodes.
+// Hashing is deterministic (FNV-1a over "name#vnode"), so every
+// coordinator — and every test — derives the identical ring from the
+// same membership, and a membership change moves only the keys that
+// hashed to the departed (or arriving) node's arcs: on average 1/n of
+// the keyspace, not a full reshuffle.
+type Ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+	nodes  []string    // sorted member names
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// hash64 is FNV-1a with a 64-bit avalanche finalizer. Raw FNV-1a
+// diffuses forward only, so inputs differing in a trailing byte — which
+// is exactly what "name#0", "name#1", ... are — land in tight bands and
+// the ring's arcs come out wildly unbalanced. The finalizer (the
+// standard MurmurHash3 fmix64) spreads those bands across the keyspace
+// while staying deterministic and dependency-free.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccb
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// NewRing returns an empty ring with the given virtual-node count per
+// member (<=0 defaults to 64).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	return &Ring{vnodes: vnodes}
+}
+
+// SetNodes rebuilds the ring for exactly the given members. Order and
+// duplicates in the input are irrelevant; the resulting ring depends
+// only on the member set.
+func (r *Ring) SetNodes(names []string) {
+	seen := make(map[string]bool, len(names))
+	r.nodes = r.nodes[:0]
+	for _, n := range names {
+		if !seen[n] {
+			seen[n] = true
+			r.nodes = append(r.nodes, n)
+		}
+	}
+	sort.Strings(r.nodes)
+	r.points = r.points[:0]
+	for _, n := range r.nodes {
+		for v := 0; v < r.vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", n, v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// Nodes returns the sorted member names. The slice is shared; callers
+// must not modify it.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Lookup returns the member owning key: the first virtual node at or
+// clockwise after the key's hash. Empty string on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	a, b := NewRing(64), NewRing(64)
+	a.SetNodes([]string{"w2", "w1", "w3", "w1"}) // order and dups must not matter
+	b.SetNodes([]string{"w1", "w2", "w3"})
+	if got, want := fmt.Sprint(a.Nodes()), fmt.Sprint(b.Nodes()); got != want {
+		t.Fatalf("member sets diverge: %s vs %s", got, want)
+	}
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("rings disagree on %q: %q vs %q", k, a.Lookup(k), b.Lookup(k))
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(0) // <=0 falls back to the default vnode count
+	if got := r.Lookup("anything"); got != "" {
+		t.Fatalf("empty ring returned %q", got)
+	}
+	r.SetNodes([]string{"only"})
+	for i := 0; i < 100; i++ {
+		if got := r.Lookup(fmt.Sprintf("k%d", i)); got != "only" {
+			t.Fatalf("single-node ring returned %q", got)
+		}
+	}
+}
+
+func TestRingBalanceAndStability(t *testing.T) {
+	r := NewRing(64)
+	r.SetNodes([]string{"w1", "w2", "w3", "w4"})
+	const keys = 4000
+	before := make(map[string]string, keys)
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("session-%d", i)
+		n := r.Lookup(k)
+		before[k] = n
+		counts[n]++
+	}
+	for n, c := range counts {
+		// Virtual nodes keep the split within a loose factor of fair share.
+		if c < keys/4/3 || c > keys/4*3 {
+			t.Fatalf("node %s owns %d of %d keys (counts %v)", n, c, keys, counts)
+		}
+	}
+
+	// Removing one member must move only that member's keys: everything
+	// that hashed to a surviving node stays put.
+	r.SetNodes([]string{"w1", "w2", "w4"})
+	moved := 0
+	for k, was := range before {
+		now := r.Lookup(k)
+		if now == "w3" {
+			t.Fatalf("key %q routed to removed node", k)
+		}
+		if was != "w3" && now != was {
+			t.Fatalf("key %q moved %s -> %s though %s survived", k, was, now, was)
+		}
+		if was != now {
+			moved++
+		}
+	}
+	if moved != counts["w3"] {
+		t.Fatalf("moved %d keys, want exactly the removed node's %d", moved, counts["w3"])
+	}
+}

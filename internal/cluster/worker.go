@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"viper/internal/core"
+	"viper/internal/histio"
+	"viper/internal/server"
+	"viper/internal/version"
+)
+
+// Worker is a fleet member: an ordinary viperd that additionally
+// answers POST /cluster/shard (record one key-sliced history) and
+// announces itself to a coordinator. Everything else — sessions,
+// audits, health — is the embedded server's, untouched.
+type Worker struct {
+	srv   *server.Server
+	cfg   Config
+	httpc *http.Client
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+	looping  atomic.Bool
+}
+
+// NewWorker wraps srv with the worker role. Call Join to start
+// announcing, Handler to mount the shard endpoint, Close to stop the
+// announce loop (before srv.Shutdown).
+func NewWorker(srv *server.Server, cfg Config) (*Worker, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.AdvertiseURL == "" {
+		return nil, fmt.Errorf("cluster: worker needs an advertise URL")
+	}
+	return &Worker{
+		srv:   srv,
+		cfg:   cfg,
+		httpc: &http.Client{},
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}, nil
+}
+
+// Handler mounts the worker's cluster endpoint in front of next (the
+// server's handler).
+func (w *Worker) Handler(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/shard", w.handleShard)
+	mux.Handle("/", next)
+	return mux
+}
+
+// Join announces the worker to the coordinator and starts the
+// re-announce loop: joins are idempotent, and periodic re-announcement
+// is what lets a restarted coordinator rebuild its member set without
+// any persistent state. The initial announcement is retried under the
+// default policy; its failure is returned so cmd/viperd can refuse to
+// start against a dead coordinator.
+func (w *Worker) Join(ctx context.Context, coordinatorURL string) error {
+	if err := w.announce(ctx, coordinatorURL); err != nil {
+		return fmt.Errorf("cluster: joining %s: %w", coordinatorURL, err)
+	}
+	w.cfg.logf("cluster: joined coordinator %s as %q (%s)", coordinatorURL, w.cfg.NodeName, w.cfg.AdvertiseURL)
+	w.looping.Store(true)
+	go w.announceLoop(coordinatorURL)
+	return nil
+}
+
+// Close stops the announce loop (when Join started one) and drops
+// pooled peer connections.
+func (w *Worker) Close() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	if w.looping.Load() {
+		<-w.done
+	}
+	w.httpc.CloseIdleConnections()
+}
+
+func (w *Worker) announce(ctx context.Context, coordinatorURL string) error {
+	buf, err := json.Marshal(JoinRequest{Name: w.cfg.NodeName, URL: w.cfg.AdvertiseURL, Version: version.Version})
+	if err != nil {
+		return err
+	}
+	var resp JoinResponse
+	return postJSON(ctx, w.httpc, coordinatorURL+"/cluster/join",
+		bytes.NewReader(buf), "application/json", &resp, server.DefaultRetryPolicy())
+}
+
+// announceLoop re-announces every few heartbeats until Close. Failures
+// are logged and retried next tick — the coordinator's health probes
+// govern routing in the meantime.
+func (w *Worker) announceLoop(coordinatorURL string) {
+	defer close(w.done)
+	t := time.NewTicker(4 * w.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), 4*w.cfg.HeartbeatInterval)
+			if err := w.announce(ctx, coordinatorURL); err != nil {
+				w.cfg.logf("cluster: re-announce to %s failed: %v", coordinatorURL, err)
+			}
+			cancel()
+		}
+	}
+}
+
+// handleShard records one key-sliced history and returns the digest.
+// The body is a JSON header line (shardHeader) followed by a histio
+// stream; the work runs through the server's admission gate exactly
+// like a session audit, so shard jobs respect the node's capacity and
+// are drained by Shutdown.
+func (w *Worker) handleShard(rw http.ResponseWriter, req *http.Request) {
+	release, err := w.srv.AdmitAudit(req.Context())
+	if err != nil {
+		w.srv.Metrics().Add("viperd_cluster_shard_rejects_total", 1)
+		admissionStatus(rw, err)
+		return
+	}
+	defer release()
+
+	hdr, body, err := splitHeader(req.Body)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("reading shard header: %v", err))
+		return
+	}
+	opts, err := hdr.options()
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	h, err := histio.Decode(body)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	if got := len(h.Keys()); got != hdr.Keys {
+		writeError(rw, http.StatusBadRequest,
+			fmt.Errorf("shard slice has %d written keys, header declares %d", got, hdr.Keys))
+		return
+	}
+
+	recs := core.BuildShardRecords(h, opts, h.Keys())
+	w.srv.Metrics().Add("viperd_cluster_shards_recorded_total", 1)
+	w.srv.Metrics().Add("viperd_cluster_shard_keys_total", int64(len(recs)))
+	writeJSON(rw, http.StatusOK, shardResponse{Node: w.cfg.NodeName, Records: recs})
+}
+
+// splitHeader reads the body's first line as a shardHeader and returns
+// the remaining (buffered) stream.
+func splitHeader(r io.Reader) (shardHeader, io.Reader, error) {
+	br := bufio.NewReader(r)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return shardHeader{}, nil, fmt.Errorf("unexpected end of stream in header: %v", err)
+	}
+	var hdr shardHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return shardHeader{}, nil, fmt.Errorf("decoding shard header: %v", err)
+	}
+	return hdr, br, nil
+}

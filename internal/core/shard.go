@@ -1,0 +1,280 @@
+// Distributed shard records: the record-and-replay seam of parallel.go
+// lifted across process boundaries.
+//
+// The sharded build (parallel.go) already splits construction into two
+// halves with a clean data interface between them: a per-key recording
+// pass that needs nothing but the history and a deterministic replay
+// that folds the records into the polygraph in serial emission order.
+// Workers in a cluster run the recording pass over their key range and
+// ship the records — the "digest" of everything their shard contributes
+// to the global polygraph: read-dependency edges, writer-chain known
+// edges, and undecided either/or constraints, all referencing global
+// node ids. The coordinator replays every shard's records in ascending
+// key order, exactly as buildSharded's replay loop would have, so the
+// merged polygraph — and therefore the verdict and any violation
+// evidence — is byte-identical to a single-node Build over the full
+// history for any shard count and any assignment of keys to shards.
+//
+// The types here are wire-friendly (flat int32 edge arrays, short JSON
+// tags) because internal/cluster serializes them between nodes.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"viper/internal/history"
+)
+
+// ShardOp is one recorded emission of the per-key constraint pass, in
+// wire form (keyOp with edges flattened to [from,to,...] int32 runs).
+type ShardOp struct {
+	// Cons distinguishes the two emission kinds: false is a known-edge
+	// add (Edge/Kind), true an either/or constraint (First/Second/...).
+	Cons bool `json:"c,omitempty"`
+
+	// Known-edge add: Edge holds [from, to].
+	Edge []int32 `json:"e,omitempty"`
+	Kind uint8   `json:"k,omitempty"` // EdgeKind; also the first side's kind for constraints
+
+	// Constraint sides, flattened from,to pairs. FBad/SBad mark sides
+	// that contained an impossible edge at record time.
+	First  []int32 `json:"f,omitempty"`
+	Second []int32 `json:"s,omitempty"`
+	FBad   bool    `json:"fb,omitempty"`
+	SBad   bool    `json:"sb,omitempty"`
+	Kind2  uint8   `json:"k2,omitempty"`
+
+	// ID is the constraint's cross-audit identity ([from1,to1,from2,to2])
+	// when it has one; empty otherwise.
+	ID []int32 `json:"id,omitempty"`
+}
+
+// KeyShardRecord is everything one key contributes to the polygraph, in
+// wire form: the digest unit workers ship to the coordinator.
+type KeyShardRecord struct {
+	Key string `json:"key"`
+	// WR is the key's read-dependency edges, flattened from,to pairs, in
+	// serial emission order.
+	WR []int32 `json:"wr,omitempty"`
+	// Ops is the key's constraint-pass emissions, in serial emission
+	// order.
+	Ops []ShardOp `json:"ops,omitempty"`
+}
+
+func flattenEdges(es []Edge) []int32 {
+	if len(es) == 0 {
+		return nil
+	}
+	out := make([]int32, 0, 2*len(es))
+	for _, e := range es {
+		out = append(out, e.From, e.To)
+	}
+	return out
+}
+
+func unflattenEdges(fs []int32) []Edge {
+	if len(fs) == 0 {
+		return nil
+	}
+	out := make([]Edge, 0, len(fs)/2)
+	for i := 0; i+1 < len(fs); i += 2 {
+		out = append(out, Edge{From: fs[i], To: fs[i+1]})
+	}
+	return out
+}
+
+func toShardOp(op *keyOp) ShardOp {
+	so := ShardOp{Cons: op.cons, Kind: uint8(op.kind)}
+	if !op.cons {
+		so.Edge = []int32{op.edge.From, op.edge.To}
+		return so
+	}
+	so.First = flattenEdges(op.first)
+	so.Second = flattenEdges(op.second)
+	so.FBad, so.SBad = op.fBad, op.sBad
+	so.Kind2 = uint8(op.kind2)
+	if op.hasID {
+		so.ID = []int32{op.id[0].From, op.id[0].To, op.id[1].From, op.id[1].To}
+	}
+	return so
+}
+
+func fromShardOp(so *ShardOp) keyOp {
+	op := keyOp{cons: so.Cons, kind: EdgeKind(so.Kind)}
+	if !so.Cons {
+		if len(so.Edge) == 2 {
+			op.edge = Edge{From: so.Edge[0], To: so.Edge[1]}
+		}
+		return op
+	}
+	op.first = unflattenEdges(so.First)
+	op.second = unflattenEdges(so.Second)
+	op.fBad, op.sBad = so.FBad, so.SBad
+	op.kind2 = EdgeKind(so.Kind2)
+	if len(so.ID) == 4 {
+		op.id = [2]Edge{{so.ID[0], so.ID[1]}, {so.ID[2], so.ID[3]}}
+		op.hasID = true
+	}
+	return op
+}
+
+// shardSkeleton is the read-only polygraph shell the recording pass
+// needs: classify() and the readers index depend only on the history,
+// the level's node mapping, and the node-count layout — never on the
+// evolving known set.
+func shardSkeleton(h *history.History, opts Options) *Polygraph {
+	pg := &Polygraph{H: h, Level: opts.Level, ser: opts.Level == Serializability}
+	if pg.ser {
+		pg.NumNodes = int32(len(h.Txns))
+	} else {
+		pg.NumNodes = int32(len(h.Txns)) * 2
+	}
+	pg.auxBase = pg.NumNodes
+	return pg
+}
+
+// BuildShardRecords runs the per-key recording pass of the sharded build
+// over the given keys and returns their records in wire form, in the
+// given key order. The history must be validated; keys must be a subset
+// of h.Keys(). Node ids in the records are global: they are derived
+// from transaction ids alone, so records computed by different workers
+// over disjoint key sets compose. opts.Parallelism bounds the local
+// worker pool; the output is identical for any worker count.
+func BuildShardRecords(h *history.History, opts Options, keys []history.Key) []KeyShardRecord {
+	pg := shardSkeleton(h, opts)
+	workers := opts.workers()
+	readers := pg.collectReadsSharded(workers)
+	wbk := writersByKey(h)
+
+	outs := make([]keyRecord, len(keys))
+	combine, coalesce := !opts.DisableCombineWrites, !opts.DisableCoalesce
+	var cursor atomic.Int64
+	pg.runShards(workers, func(int) {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(keys) {
+				return
+			}
+			key := keys[i]
+			byWriter := readers[key]
+			recordReadDeps(pg, byWriter, &outs[i])
+			pg.buildKeyConstraints(key, wbk[key], byWriter, combine, coalesce, keyRecorder{pg: pg, rec: &outs[i]})
+		}
+	})
+
+	recs := make([]KeyShardRecord, len(keys))
+	for i, key := range keys {
+		rec := KeyShardRecord{Key: string(key), WR: flattenEdges(outs[i].wr)}
+		if n := len(outs[i].ops); n > 0 {
+			rec.Ops = make([]ShardOp, n)
+			for j := range outs[i].ops {
+				rec.Ops[j] = toShardOp(&outs[i].ops[j])
+			}
+		}
+		recs[i] = rec
+	}
+	return recs
+}
+
+// BuildPolygraphFromShards replays shard records into a polygraph. recs
+// must cover h.Keys() exactly — every key once, in ascending order
+// (shards covering contiguous key ranges, concatenated in range order,
+// satisfy this). The replay mirrors buildSharded: all read-dependency
+// edges in key order, then every key's constraint-pass emissions in key
+// order, with the knownSet-dependent steps (duplicate suppression,
+// dropping already-certain constraint sides) performed here against the
+// evolving known set. The result is byte-identical to Build(h, opts).
+func BuildPolygraphFromShards(h *history.History, opts Options, recs []KeyShardRecord) (*Polygraph, error) {
+	keys := h.Keys()
+	if len(recs) != len(keys) {
+		return nil, fmt.Errorf("shard merge: %d records for %d keys", len(recs), len(keys))
+	}
+	for i, key := range keys {
+		if recs[i].Key != string(key) {
+			return nil, fmt.Errorf("shard merge: record %d is key %q, want %q (records must cover h.Keys() in order)", i, recs[i].Key, key)
+		}
+	}
+
+	start := time.Now()
+	pg := &Polygraph{
+		H:        h,
+		Level:    opts.Level,
+		ser:      opts.Level == Serializability,
+		knownSet: make(map[Edge]bool),
+	}
+	if pg.ser {
+		pg.NumNodes = int32(len(h.Txns))
+	} else {
+		pg.NumNodes = int32(len(h.Txns)) * 2
+	}
+	pg.auxBase = pg.NumNodes
+	pg.initNodeTS()
+
+	if !pg.ser {
+		for _, t := range h.Txns {
+			if t.Committed() {
+				pg.addKnown(Edge{pg.Begin(t.ID), pg.Commit(t.ID)}, EdgeIntra, "")
+			}
+		}
+	}
+
+	for i, key := range keys {
+		for _, e := range unflattenEdges(recs[i].WR) {
+			pg.addKnown(e, EdgeWR, key)
+		}
+	}
+	for i, key := range keys {
+		for j := range recs[i].Ops {
+			op := fromShardOp(&recs[i].Ops[j])
+			pg.applyOp(&op, key)
+		}
+	}
+
+	if opts.Level == StrongSessionSI {
+		pg.addSessionEdges()
+	}
+	if opts.Level.needsRealTime() {
+		pg.addRealTimeEdges(opts)
+	}
+	pg.buildWall = time.Since(start)
+	pg.buildCPU = pg.buildWall
+	pg.buildWorkers = 1
+	return pg, nil
+}
+
+// CheckShardedContext is CheckHistoryContext with construction replaced
+// by a shard-record merge: the same polynomial-level dispatch, the same
+// G1b screen, then BuildPolygraphFromShards + CheckPolygraphContext.
+// Given records covering h.Keys(), the verdict (and violation evidence:
+// anomaly string, known cycle, constraint set) is identical to
+// single-node CheckHistoryContext.
+func CheckShardedContext(ctx context.Context, h *history.History, opts Options, recs []KeyShardRecord) (*Report, error) {
+	if opts.Level.Polynomial() {
+		return checkPolynomial(h, opts), nil
+	}
+	if ev := findG1b(h, 1); ev != nil {
+		n := len(h.Txns)
+		if opts.Level != Serializability {
+			n *= 2
+		}
+		return &Report{
+			Level:   opts.Level,
+			Outcome: Reject,
+			Anomaly: ev.String(),
+			Nodes:   n,
+		}, nil
+	}
+	mergeStart := time.Now()
+	pg, err := BuildPolygraphFromShards(h, opts, recs)
+	if err != nil {
+		return nil, err
+	}
+	merge := time.Since(mergeStart)
+	rep := CheckPolygraphContext(ctx, pg, opts)
+	rep.Phases.Construct += merge
+	rep.Phases.ConstructCPU += merge
+	return rep, nil
+}

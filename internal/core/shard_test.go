@@ -1,0 +1,133 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"viper/internal/history"
+	"viper/internal/runner"
+	"viper/internal/workload"
+)
+
+// splitKeys cuts keys into n contiguous chunks (some possibly empty).
+func splitKeys(keys []history.Key, n int) [][]history.Key {
+	out := make([][]history.Key, 0, n)
+	per := (len(keys) + n - 1) / n
+	if per == 0 {
+		per = 1
+	}
+	for lo := 0; lo < len(keys); lo += per {
+		hi := lo + per
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		out = append(out, keys[lo:hi])
+	}
+	return out
+}
+
+// mergeViaShards records each key chunk independently (as cluster
+// workers would) and replays the concatenated records.
+func mergeViaShards(t *testing.T, h *history.History, opts Options, shards int) *Polygraph {
+	t.Helper()
+	var recs []KeyShardRecord
+	for _, chunk := range splitKeys(h.Keys(), shards) {
+		recs = append(recs, BuildShardRecords(h, opts, chunk)...)
+	}
+	pg, err := BuildPolygraphFromShards(h, opts, recs)
+	if err != nil {
+		t.Fatalf("merge (%d shards): %v", shards, err)
+	}
+	return pg
+}
+
+// TestShardRecordsMergeIdenticalToBuild is the distributed counterpart
+// of TestShardedBuildIdenticalToSerial: recording each key range
+// separately (with varying intra-shard parallelism) and replaying the
+// concatenated records must reproduce the serial build byte for byte,
+// for every level, optimization combination, and shard count.
+func TestShardRecordsMergeIdenticalToBuild(t *testing.T) {
+	histories := map[string]*history.History{
+		"figure2":     figure2(t),
+		"long-fork":   longFork(t),
+		"lost-update": lostUpdate(t),
+		"write-skew":  writeSkew(t),
+		"read-skew":   readSkew(t),
+	}
+	rng := rand.New(rand.NewSource(43))
+	histories["random-serial"] = randomSerialHistory(rng, 40+rng.Intn(40), 6, 3)
+	levels := []Level{AdyaSI, GSI, StrongSessionSI, StrongSI, Serializability}
+	for name, h := range histories {
+		for _, level := range levels {
+			for _, combo := range []Options{
+				{Level: level},
+				{Level: level, DisableCombineWrites: true},
+				{Level: level, DisableCoalesce: true},
+			} {
+				serialOpts := combo
+				serialOpts.Parallelism = 1
+				serial := Build(h, serialOpts)
+				for _, shards := range []int{1, 2, 3, 7} {
+					recOpts := combo
+					recOpts.Parallelism = 1 + shards%3
+					comparePolygraphs(t, serial, mergeViaShards(t, h, recOpts, shards), name+"/"+level.String())
+				}
+			}
+		}
+	}
+}
+
+// TestShardRecordsOnGeneratedWorkload runs the record/merge differential
+// on a constraint-heavy generated workload and checks the end-to-end
+// verdict through CheckShardedContext.
+func TestShardRecordsOnGeneratedWorkload(t *testing.T) {
+	h, _, err := runner.Run(workload.NewBlindWRW(), runner.Config{Clients: 16, Txns: 300, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, level := range []Level{AdyaSI, StrongSessionSI, Serializability} {
+		opts := Options{Level: level, Parallelism: 1}
+		serial := Build(h, opts)
+		for _, shards := range []int{2, 4} {
+			comparePolygraphs(t, serial, mergeViaShards(t, h, opts, shards), "blindw-rw/"+level.String())
+		}
+		want := CheckHistory(h, opts)
+		var recs []KeyShardRecord
+		for _, chunk := range splitKeys(h.Keys(), 3) {
+			recs = append(recs, BuildShardRecords(h, opts, chunk)...)
+		}
+		rep, err := CheckShardedContext(context.Background(), h, opts, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Outcome != want.Outcome || rep.Anomaly != want.Anomaly {
+			t.Fatalf("%v: sharded verdict %v/%q, want %v/%q",
+				level, rep.Outcome, rep.Anomaly, want.Outcome, want.Anomaly)
+		}
+		if rep.KnownEdges != want.KnownEdges || rep.Constraints != want.Constraints {
+			t.Fatalf("%v: graph stats (%d known, %d cons) vs (%d, %d)",
+				level, rep.KnownEdges, rep.Constraints, want.KnownEdges, want.Constraints)
+		}
+	}
+}
+
+// TestBuildPolygraphFromShardsCoverage: records must cover h.Keys()
+// exactly, in order — anything else is a merge error, not a silent
+// wrong verdict.
+func TestBuildPolygraphFromShardsCoverage(t *testing.T) {
+	h := writeSkew(t)
+	opts := Options{Level: AdyaSI}
+	recs := BuildShardRecords(h, opts, h.Keys())
+	if len(recs) < 2 {
+		t.Fatalf("want >= 2 keys in write-skew, got %d", len(recs))
+	}
+	if _, err := BuildPolygraphFromShards(h, opts, recs[1:]); err == nil {
+		t.Fatal("missing key accepted")
+	}
+	swapped := append([]KeyShardRecord(nil), recs...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if _, err := BuildPolygraphFromShards(h, opts, swapped); err == nil {
+		t.Fatal("out-of-order records accepted")
+	}
+}

@@ -196,3 +196,21 @@ func TestTableFprintAlignment(t *testing.T) {
 		t.Fatalf("header misaligned: %q", lines[1])
 	}
 }
+
+// TestClusterSmallScale: the distributed-checking ablation runs a real
+// loopback fleet per row and self-checks verdict parity with the
+// single-node baseline (the experiment errors on divergence).
+func TestClusterSmallScale(t *testing.T) {
+	tb, err := Cluster(Config{Sizes: []int{400}, Clients: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 { // 1, 2, and 4 workers
+		t.Fatalf("got %d rows, want 3", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[len(row)-1] != "accept" {
+			t.Fatalf("row %v: generated history must be accepted", row)
+		}
+	}
+}

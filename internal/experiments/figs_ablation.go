@@ -238,10 +238,11 @@ func All() map[string]func(Config) (*Table, error) {
 		"tsfastpath": TSFastPath,
 		"truncate":   Truncate,
 		"matrix":     Matrix,
+		"cluster":    Cluster,
 	}
 }
 
 // Order lists experiments in paper order.
 func Order() []string {
-	return []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "resolve", "tsfastpath", "truncate", "matrix"}
+	return []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "resolve", "tsfastpath", "truncate", "matrix", "cluster"}
 }

@@ -104,6 +104,41 @@ type CheckpointInfo struct {
 	CertBytes       int64 `json:"cert_bytes"`
 }
 
+// ClusterShard describes one key-range shard of a distributed check:
+// which node recorded it and how much of the polygraph it contributed.
+type ClusterShard struct {
+	Node string `json:"node"`
+	// Keys/Txns are the shard's key count and the number of transactions
+	// with at least one operation on a shard key.
+	Keys int `json:"keys"`
+	Txns int `json:"txns"`
+	// KnownEdges/Constraints count the shard digest's emissions (before
+	// merge-time dedup against other shards' edges).
+	KnownEdges  int `json:"known_edges"`
+	Constraints int `json:"constraints"`
+	// Local marks a shard the coordinator computed itself (no workers, or
+	// every dispatch attempt failed).
+	Local bool `json:"local,omitempty"`
+}
+
+// ClusterInfo describes how a distributed check (POST /cluster/check)
+// was spread over the fleet. Present only on coordinator reports.
+type ClusterInfo struct {
+	Coordinator string         `json:"coordinator"`
+	Workers     int            `json:"workers"`
+	Shards      []ClusterShard `json:"shards"`
+	// CrossShardEdges/CrossShardConstraints count digest emissions with at
+	// least one endpoint transaction that also operates on other shards —
+	// the couplings the merged polygraph reconciles, through which a
+	// violation cycle can span shards.
+	CrossShardEdges       int `json:"cross_shard_edges"`
+	CrossShardConstraints int `json:"cross_shard_constraints"`
+	// LocalFallbacks counts shards that fell back to coordinator-local
+	// recording after dispatch failures.
+	LocalFallbacks int   `json:"local_fallbacks,omitempty"`
+	MergeNS        int64 `json:"merge_ns"`
+}
+
 // CycleEdge is one edge of a counterexample cycle, with node names
 // rendered by the polygraph (e.g. "c(T3)") and edge provenance.
 type CycleEdge struct {
@@ -188,6 +223,10 @@ type ReportDoc struct {
 	// when the session never checkpointed.
 	Checkpoint *CheckpointInfo `json:"checkpoint,omitempty"`
 
+	// Cluster describes a distributed check's sharding; absent on
+	// single-node reports.
+	Cluster *ClusterInfo `json:"cluster,omitempty"`
+
 	Final *Snapshot `json:"final,omitempty"`
 	Trace *Trace    `json:"trace,omitempty"`
 }
@@ -226,6 +265,9 @@ func (d *ReportDoc) Normalize() {
 	d.Phases = PhaseInfo{}
 	if d.Matrix != nil {
 		d.Matrix.WallNS = 0
+	}
+	if d.Cluster != nil {
+		d.Cluster.MergeNS = 0
 	}
 	if d.Final != nil {
 		d.Final.ElapsedNS = 0

@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -40,21 +42,122 @@ func retryAfterSeconds(h string) time.Duration {
 	return 0
 }
 
+// RetryPolicy bounds the client's automatic retries of requests the
+// server refused with 429 (admission control) or 503 (draining, or
+// canceled while queued) — both statuses are issued before the server
+// processes anything, so repeating the request is always safe. The
+// schedule is exponential with additive jitter, and the server's parsed
+// Retry-After is honored as a floor: the client never knocks again
+// earlier than the server asked.
+type RetryPolicy struct {
+	// MaxRetries is the number of retries after the first attempt; zero
+	// disables retrying (the zero policy is inert).
+	MaxRetries int
+	// BaseDelay seeds the exponential schedule (attempt i backs off
+	// ~BaseDelay<<i); default 100ms when MaxRetries > 0.
+	BaseDelay time.Duration
+	// MaxDelay caps the un-jittered exponential term; default 5s.
+	MaxDelay time.Duration
+
+	// rand returns the jitter draw in [0,1); tests inject a deterministic
+	// source. Nil uses math/rand.
+	rand func() float64
+}
+
+// DefaultRetryPolicy is the schedule cmd/viper's remote mode and the
+// cluster coordinator use: 4 retries, 100ms … 5s exponential, +0–50%
+// jitter (worst case ~8s of waiting before giving up).
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second}
+}
+
+// Delay computes the backoff before retry attempt (0-based), given the
+// server's Retry-After suggestion. The un-jittered term doubles from
+// BaseDelay and is capped at MaxDelay; Retry-After raises it when the
+// server asked for longer; jitter then adds up to +50% of the result so
+// a thundering herd of equally-refused clients decorrelates. The result
+// is never below Retry-After.
+func (p RetryPolicy) Delay(attempt int, retryAfter time.Duration) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	r := p.rand
+	if r == nil {
+		r = rand.Float64
+	}
+	return d + time.Duration(r()*float64(d)/2)
+}
+
+// retryable reports whether status is one of the two pre-processing
+// refusals the policy covers.
+func (p RetryPolicy) retryable(status int) bool {
+	return p.MaxRetries > 0 &&
+		(status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable)
+}
+
 // Client is the Go client for a viperd server. It speaks the whole API:
-// session lifecycle, streaming append, audits, progress, metrics and
-// health. cmd/viper's remote mode and the end-to-end tests are built on
-// it. A Client is safe for concurrent use.
+// session lifecycle, streaming append, audits, progress, metrics,
+// health, and the cluster endpoints. cmd/viper's remote mode and the
+// end-to-end tests are built on it. A Client is safe for concurrent use.
 type Client struct {
 	base string
 	// HTTP is the underlying client; replace it to set timeouts or
 	// transports. Defaults to http.DefaultClient.
 	HTTP *http.Client
+	// Retry configures automatic backoff on 429/503. The zero value never
+	// retries (historical behavior); see DefaultRetryPolicy. Requests
+	// whose body cannot be replayed (a non-seekable stream) are never
+	// retried regardless of the policy.
+	Retry RetryPolicy
 }
 
 // NewClient returns a client for the server at base (e.g.
 // "http://127.0.0.1:7457").
 func NewClient(base string) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), HTTP: http.DefaultClient}
+}
+
+// backoff sleeps for the policy's attempt-th delay (honoring the
+// server's Retry-After) unless ctx ends first; it reports whether the
+// caller should retry.
+func (c *Client) backoff(ctx context.Context, attempt int, retryAfter time.Duration) bool {
+	t := time.NewTimer(c.Retry.Delay(attempt, retryAfter))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// rewind prepares body for another attempt. A nil body needs nothing; a
+// seekable one rewinds; anything else cannot be replayed.
+func rewind(body io.Reader) bool {
+	if body == nil {
+		return true
+	}
+	s, ok := body.(io.Seeker)
+	if !ok {
+		return false
+	}
+	_, err := s.Seek(0, io.SeekStart)
+	return err == nil
 }
 
 // APIError is a non-2xx server response: the HTTP status, the server's
@@ -80,8 +183,23 @@ func IsSaturated(err error) bool {
 }
 
 // do sends one request and decodes a JSON response into out (when
-// non-nil), turning non-2xx responses into *APIError.
+// non-nil), turning non-2xx responses into *APIError. 429/503 refusals
+// are retried under the client's RetryPolicy when the body is
+// replayable.
 func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, body, out)
+		ae, isAPI := err.(*APIError)
+		if !isAPI || !c.Retry.retryable(ae.Status) || attempt >= c.Retry.MaxRetries {
+			return err
+		}
+		if !rewind(body) || !c.backoff(ctx, attempt, ae.RetryAfter) {
+			return err
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, body io.Reader, out any) error {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
@@ -189,9 +307,33 @@ func (c *Client) AuditMatrix(ctx context.Context, id string) (*obs.ReportDoc, er
 }
 
 func (c *Client) audit(ctx context.Context, id, query string) (*obs.ReportDoc, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sessions/"+id+"/audit"+query, nil)
+	return c.reportRequest(ctx, "/v1/sessions/"+id+"/audit"+query, nil)
+}
+
+// reportRequest POSTs to a report-document endpoint (audit, cluster
+// check) and decodes the response, retrying 429/503 refusals under the
+// policy when the body is replayable. A 504 still carries a
+// (timeout-outcome) document.
+func (c *Client) reportRequest(ctx context.Context, path string, body io.Reader) (*obs.ReportDoc, error) {
+	for attempt := 0; ; attempt++ {
+		doc, err := c.reportRequestOnce(ctx, path, body)
+		ae, isAPI := err.(*APIError)
+		if !isAPI || !c.Retry.retryable(ae.Status) || attempt >= c.Retry.MaxRetries {
+			return doc, err
+		}
+		if !rewind(body) || !c.backoff(ctx, attempt, ae.RetryAfter) {
+			return doc, err
+		}
+	}
+}
+
+func (c *Client) reportRequestOnce(ctx context.Context, path string, body io.Reader) (*obs.ReportDoc, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, body)
 	if err != nil {
 		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/octet-stream")
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
@@ -228,6 +370,73 @@ func (c *Client) Health(ctx context.Context) (Health, error) {
 	var h Health
 	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
 	return h, err
+}
+
+// ClusterNode is one fleet member as reported by a coordinator's GET
+// /cluster/nodes.
+type ClusterNode struct {
+	Name    string `json:"name"`
+	URL     string `json:"url"`
+	Version string `json:"version"`
+	Healthy bool   `json:"healthy"`
+	// Sessions is the node's live session count at its last heartbeat.
+	Sessions int `json:"sessions"`
+	// LastSeenNS is nanoseconds since the coordinator last saw the node
+	// ready (heartbeat or join).
+	LastSeenNS int64 `json:"last_seen_ns"`
+}
+
+// ClusterNodesResponse is the GET /cluster/nodes body.
+type ClusterNodesResponse struct {
+	Coordinator string        `json:"coordinator"`
+	Version     string        `json:"version"`
+	Nodes       []ClusterNode `json:"nodes"`
+}
+
+// ClusterNodes lists a coordinator's fleet members. Non-coordinator
+// nodes answer 404.
+func (c *Client) ClusterNodes(ctx context.Context) (ClusterNodesResponse, error) {
+	var out ClusterNodesResponse
+	err := c.do(ctx, http.MethodGet, "/cluster/nodes", nil, &out)
+	return out, err
+}
+
+// ClusterCheck streams one whole history (JSON-lines format, like a
+// session append) to a coordinator's POST /cluster/check: the
+// coordinator splits it by key range across the fleet, merges the
+// shard digests, solves once, and returns the same report document a
+// single-node check of the identical history would produce (plus a
+// "cluster" section describing the distribution). cfg supplies the
+// checking knobs a session creation would (level, drift, parallelism,
+// portfolio, ...); Name/checkpoint fields are ignored.
+func (c *Client) ClusterCheck(ctx context.Context, history io.Reader, cfg SessionConfig) (*obs.ReportDoc, error) {
+	q := url.Values{}
+	if cfg.Level != "" {
+		q.Set("level", cfg.Level)
+	}
+	if cfg.ClockDriftNS != 0 {
+		q.Set("clock_drift_ns", strconv.FormatInt(cfg.ClockDriftNS, 10))
+	}
+	if cfg.Parallelism != 0 {
+		q.Set("parallelism", strconv.Itoa(cfg.Parallelism))
+	}
+	if cfg.Portfolio != 0 {
+		q.Set("portfolio", strconv.Itoa(cfg.Portfolio))
+	}
+	if cfg.InitialK != 0 {
+		q.Set("initial_k", strconv.Itoa(cfg.InitialK))
+	}
+	if cfg.DisablePruning {
+		q.Set("disable_pruning", "1")
+	}
+	if cfg.DisableResolve {
+		q.Set("disable_resolve", "1")
+	}
+	path := "/cluster/check"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	return c.reportRequest(ctx, path, history)
 }
 
 // Metrics fetches and parses the /metrics counters.

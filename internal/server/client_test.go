@@ -44,3 +44,53 @@ func TestRetryAfterSeconds(t *testing.T) {
 		})
 	}
 }
+
+// TestRetryPolicyDelaySchedule pins the backoff schedule: exponential
+// doubling from BaseDelay, capped at MaxDelay, floored at the server's
+// Retry-After, with up to +50% jitter on top.
+func TestRetryPolicyDelaySchedule(t *testing.T) {
+	fixed := func(v float64) func() float64 { return func() float64 { return v } }
+	p := RetryPolicy{MaxRetries: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second, rand: fixed(0)}
+	cases := []struct {
+		name       string
+		attempt    int
+		retryAfter time.Duration
+		want       time.Duration
+	}{
+		{"first", 0, 0, 100 * time.Millisecond},
+		{"doubles", 1, 0, 200 * time.Millisecond},
+		{"doubles again", 2, 0, 400 * time.Millisecond},
+		{"caps at max", 10, 0, 5 * time.Second},
+		{"retry-after floors", 0, 3 * time.Second, 3 * time.Second},
+		{"retry-after beats cap", 10, 10 * time.Second, 10 * time.Second},
+		{"retry-after below schedule ignored", 2, 50 * time.Millisecond, 400 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := p.Delay(tc.attempt, tc.retryAfter); got != tc.want {
+				t.Fatalf("Delay(%d, %v) = %v, want %v", tc.attempt, tc.retryAfter, got, tc.want)
+			}
+		})
+	}
+
+	// Jitter adds at most half the un-jittered delay.
+	pj := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second, rand: fixed(0.9999)}
+	if got := pj.Delay(0, 0); got < 100*time.Millisecond || got >= 150*time.Millisecond {
+		t.Fatalf("jittered delay %v outside [100ms, 150ms)", got)
+	}
+
+	// The zero-value policy still produces sane delays (defaults kick in)
+	// even though do() never consults it when MaxRetries is 0.
+	var zero RetryPolicy
+	if got := zero.Delay(0, 0); got < 100*time.Millisecond || got > 150*time.Millisecond {
+		t.Fatalf("zero-policy default delay %v outside [100ms, 150ms]", got)
+	}
+	if zero.retryable(http.StatusServiceUnavailable) {
+		t.Fatal("zero policy claims 503 is retryable")
+	}
+	if !DefaultRetryPolicy().retryable(http.StatusTooManyRequests) ||
+		!DefaultRetryPolicy().retryable(http.StatusServiceUnavailable) ||
+		DefaultRetryPolicy().retryable(http.StatusBadGateway) {
+		t.Fatal("default policy retries the wrong statuses")
+	}
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientRetriesRefusals: a 503-then-ok sequence is absorbed by the
+// retry policy — the caller sees one successful call, the server three
+// attempts — and the Retry-After header is honored as the delay floor.
+func TestClientRetriesRefusals(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"draining"}`)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok","live":true,"ready":true}`)
+	}))
+	defer ts.Close()
+
+	cl := NewClient(ts.URL)
+	cl.Retry = RetryPolicy{MaxRetries: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	h, err := cl.Health(context.Background())
+	if err != nil {
+		t.Fatalf("health after retries: %v", err)
+	}
+	if h.Status != "ok" || calls.Load() != 3 {
+		t.Fatalf("got %+v after %d calls, want ok after 3", h, calls.Load())
+	}
+}
+
+// TestClientRetryGivesUp: a server that never recovers exhausts
+// MaxRetries and surfaces the final refusal.
+func TestClientRetryGivesUp(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"saturated"}`)
+	}))
+	defer ts.Close()
+
+	cl := NewClient(ts.URL)
+	cl.Retry = RetryPolicy{MaxRetries: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	_, err := cl.Health(context.Background())
+	ae, ok := err.(*APIError)
+	if !ok || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("want final 429, got %v", err)
+	}
+	if calls.Load() != 3 { // initial attempt + 2 retries
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+}
+
+// onlyReader hides any Seek method the wrapped reader may have.
+type onlyReader struct{ r io.Reader }
+
+func (o onlyReader) Read(p []byte) (int, error) { return o.r.Read(p) }
+
+// TestClientNeverRetriesStreamBodies: a request whose body cannot be
+// rewound is never replayed, whatever the policy says — the bytes are
+// gone after the first attempt.
+func TestClientNeverRetriesStreamBodies(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"saturated"}`)
+	}))
+	defer ts.Close()
+
+	cl := NewClient(ts.URL)
+	cl.Retry = DefaultRetryPolicy()
+	_, err := cl.Append(context.Background(), "s1", onlyReader{strings.NewReader("{}\n")}, false)
+	ae, ok := err.(*APIError)
+	if !ok || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("want 429, got %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("non-seekable body was sent %d times", calls.Load())
+	}
+
+	// The same request with a seekable body is retried.
+	calls.Store(0)
+	cl.Retry = RetryPolicy{MaxRetries: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	if _, err := cl.Append(context.Background(), "s1", strings.NewReader("{}\n"), false); err == nil {
+		t.Fatal("expected the 429 to surface")
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("seekable body was sent %d times, want 2", calls.Load())
+	}
+}
+
+// TestClientZeroPolicyNeverRetries pins the historical default: without
+// opting into a policy, one refusal is one error.
+func TestClientZeroPolicyNeverRetries(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"draining"}`)
+	}))
+	defer ts.Close()
+
+	cl := NewClient(ts.URL)
+	if _, err := cl.Health(context.Background()); err == nil {
+		t.Fatal("expected the 503 to surface")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("zero policy sent %d requests, want 1", calls.Load())
+	}
+}
+
+// TestHealthzProbes: the liveness probe stays 200 through a drain while
+// the readiness probe (and the legacy combined probe) flip to 503 the
+// moment shutdown begins.
+func TestHealthzProbes(t *testing.T) {
+	srv := New(Config{IdleTTL: -1, Role: "worker"})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	probe := func(q string) (int, Health) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h Health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, h
+	}
+
+	for _, q := range []string{"", "?probe=live", "?probe=ready"} {
+		code, h := probe(q)
+		if code != http.StatusOK || !h.Live || !h.Ready || h.Role != "worker" {
+			t.Fatalf("healthz%s before drain: %d %+v", q, code, h)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if code, h := probe("?probe=live"); code != http.StatusOK || !h.Live {
+		t.Fatalf("liveness during drain: %d %+v, want 200 live", code, h)
+	}
+	if code, h := probe("?probe=ready"); code != http.StatusServiceUnavailable || h.Ready {
+		t.Fatalf("readiness during drain: %d %+v, want 503 not-ready", code, h)
+	}
+	if code, h := probe(""); code != http.StatusServiceUnavailable || h.Status != "shutting-down" {
+		t.Fatalf("legacy probe during drain: %d %+v, want 503 shutting-down", code, h)
+	}
+}

@@ -78,6 +78,10 @@ type Config struct {
 	MaxLiveOps      int
 	// Logger receives request logs; nil discards them.
 	Logger *log.Logger
+	// Role names the node's cluster role ("coordinator", "worker") in
+	// /healthz, so clients and peers can discover the topology. Empty for
+	// a standalone daemon.
+	Role string
 }
 
 func (c Config) withDefaults() Config {
@@ -176,7 +180,15 @@ func (s *Server) Handler() http.Handler { return s.logged(s.mux) }
 // Serve accepts connections on l until Shutdown. It returns
 // http.ErrServerClosed after a clean shutdown, like http.Server.Serve.
 func (s *Server) Serve(l net.Listener) error {
-	srv := &http.Server{Handler: s.Handler()}
+	return s.ServeWith(l, s.Handler())
+}
+
+// ServeWith is Serve with a caller-supplied handler — typically this
+// server's Handler wrapped by cluster middleware (coordinator routing,
+// worker shard endpoints). Shutdown drains and closes the listener the
+// same way.
+func (s *Server) ServeWith(l net.Listener, h http.Handler) error {
+	srv := &http.Server{Handler: h}
 	s.httpMu.Lock()
 	s.httpSrv = srv
 	s.httpMu.Unlock()
@@ -217,6 +229,43 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // Metrics exposes the server's counter registry (tests and embedders).
 func (s *Server) Metrics() *obs.Counters { return s.metrics }
+
+// Draining reports whether Shutdown has begun: the node still answers
+// requests on open connections but must not be routed new work.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// AdmitAudit runs solver-bound work through the server's admission
+// machinery exactly like a session audit: refused while draining,
+// counted as in-flight (so Shutdown waits for it), and holding one
+// bounded worker token. Cluster endpoints that solve on this node use
+// it so distributed checks respect the same capacity limits as local
+// ones. The returned release must be called when the work ends;
+// saturation returns ErrSaturated.
+func (s *Server) AdmitAudit(ctx context.Context) (release func(), err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	tokenRelease, err := s.acquire(ctx)
+	if err != nil {
+		s.inflight.Done()
+		return nil, err
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			tokenRelease()
+			s.inflight.Done()
+		})
+	}, nil
+}
 
 // ---- session registry ----
 
@@ -279,8 +328,16 @@ func (s *Server) evictIdle() {
 
 // ---- admission gate ----
 
-// errSaturated is returned by acquire when the queue is full.
-var errSaturated = fmt.Errorf("audit workers and queue are saturated")
+// ErrSaturated is returned by acquire (and AdmitAudit) when the audit
+// workers and the bounded queue are both full; ErrShuttingDown when the
+// server is draining. Both map to retryable HTTP statuses (429, 503).
+var (
+	ErrSaturated    = fmt.Errorf("audit workers and queue are saturated")
+	ErrShuttingDown = fmt.Errorf("server is shutting down")
+)
+
+// errSaturated is the historical internal alias.
+var errSaturated = ErrSaturated
 
 // acquire claims an audit worker slot. A free slot is claimed
 // immediately; otherwise the caller joins the bounded queue, and when
@@ -669,30 +726,51 @@ func (s *Server) handleProgress(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, snap)
 }
 
-// Health is the /healthz response body.
+// Health is the /healthz response body. Live and Ready separate the two
+// questions a fleet asks: Live is "is the process up" (true for as long
+// as the listener answers at all), Ready is "should new work be routed
+// here" (false the moment a drain begins — Shutdown flips the flag
+// before the listener closes, so health checks and load balancers stop
+// routing to a draining node while its in-flight audits finish).
 type Health struct {
 	Status   string `json:"status"`
 	Version  string `json:"version"`
+	Role     string `json:"role,omitempty"`
+	Live     bool   `json:"live"`
+	Ready    bool   `json:"ready"`
 	Sessions int    `json:"sessions"`
 	UptimeNS int64  `json:"uptime_ns"`
 }
 
+// handleHealthz serves three probes:
+//
+//	GET /healthz             legacy combined probe: 503 while draining
+//	GET /healthz?probe=live  liveness: 200 for as long as we answer
+//	GET /healthz?probe=ready readiness: 503 the moment a drain begins
+//
+// All three return the same Health body; only the status code differs.
 func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	s.mu.Lock()
 	n := len(s.sessions)
 	closed := s.closed
 	s.mu.Unlock()
-	status := "ok"
-	code := http.StatusOK
-	if closed {
-		status, code = "shutting-down", http.StatusServiceUnavailable
-	}
-	writeJSON(w, code, Health{
-		Status:   status,
+	h := Health{
+		Status:   "ok",
 		Version:  version.Version,
+		Role:     s.cfg.Role,
+		Live:     true,
+		Ready:    !closed,
 		Sessions: n,
 		UptimeNS: int64(time.Since(s.start)),
-	})
+	}
+	code := http.StatusOK
+	if closed {
+		h.Status = "shutting-down"
+		if req.URL.Query().Get("probe") != "live" {
+			code = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, code, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
