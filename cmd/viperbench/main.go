@@ -8,6 +8,7 @@
 //	viperbench -exp all -timeout 30s     # everything, 30s per check
 //	viperbench -exp fig8 -sizes 100,200,400,1000 -clients 24
 //	viperbench -exp resolve -jsonout BENCH_resolve.json
+//	viperbench -exp cluster -sizes 2000 -ratchet BENCH_cluster.json   # CI perf gate
 //
 // Paper-scale runs (e.g. -sizes up to 10000 with -timeout 600s) take
 // hours, exactly as the artifact's compute estimates say; the defaults are
@@ -52,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		memProf     = fs.String("memprofile", "", "write a pprof heap profile (taken at exit) to this path")
 		execTr      = fs.String("trace", "", "write a Go execution trace of the run to this path")
 		jsonOut     = fs.String("jsonout", "", "also write the tables as a JSON array to this path")
+		ratchet     = fs.String("ratchet", "", "baseline JSON tables (a previous -jsonout); fail if any matching row's wall-clock regresses beyond the tolerance")
+		ratchetTol  = fs.Float64("ratchet-tolerance", 0.25, "fractional wall-clock regression allowed by -ratchet (0.25 = 25%)")
 		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -170,5 +173,95 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	if *ratchet != "" {
+		if err := ratchetCheck(*ratchet, *ratchetTol, tables, stdout); err != nil {
+			fmt.Fprintf(stderr, "viperbench: ratchet: %v\n", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// ratchetCheck compares each produced row against the checked-in
+// baseline tables and fails on wall-clock regression. Rows are matched
+// by table name plus the identity columns both headers share ahead of
+// the "wall(s)" column; rows or tables the baseline does not know are
+// ignored (new sizes and new experiments don't trip the ratchet).
+func ratchetCheck(path string, tolerance float64, tables []*experiments.Table, out io.Writer) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var baseline []*experiments.Table
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("decoding %s: %v", path, err)
+	}
+	byName := make(map[string]*experiments.Table, len(baseline))
+	for _, bt := range baseline {
+		byName[bt.Name] = bt
+	}
+
+	col := func(header []string, name string) int {
+		for i, h := range header {
+			if h == name {
+				return i
+			}
+		}
+		return -1
+	}
+	matched := 0
+	for _, nt := range tables {
+		bt := byName[nt.Name]
+		if bt == nil {
+			continue
+		}
+		nWall, bWall := col(nt.Header, "wall(s)"), col(bt.Header, "wall(s)")
+		if nWall < 0 || bWall < 0 {
+			continue
+		}
+		// Identity columns: names both headers carry before their wall
+		// column, in the new table's order.
+		type idCol struct{ n, b int }
+		var ids []idCol
+		for i := 0; i < nWall; i++ {
+			if j := col(bt.Header[:bWall], nt.Header[i]); j >= 0 {
+				ids = append(ids, idCol{n: i, b: j})
+			}
+		}
+		key := func(row []string, pick func(idCol) int) string {
+			parts := make([]string, len(ids))
+			for k, id := range ids {
+				parts[k] = row[pick(id)]
+			}
+			return strings.Join(parts, "\x00")
+		}
+		base := make(map[string]float64, len(bt.Rows))
+		for _, row := range bt.Rows {
+			if w, err := strconv.ParseFloat(row[bWall], 64); err == nil {
+				base[key(row, func(id idCol) int { return id.b })] = w
+			}
+		}
+		for _, row := range nt.Rows {
+			old, ok := base[key(row, func(id idCol) int { return id.n })]
+			if !ok {
+				continue
+			}
+			now, err := strconv.ParseFloat(row[nWall], 64)
+			if err != nil {
+				continue
+			}
+			matched++
+			limit := old * (1 + tolerance)
+			if now > limit {
+				return fmt.Errorf("%s: row %v regressed: wall %.2fs > baseline %.2fs × %.2f",
+					nt.Name, row[:nWall], now, old, 1+tolerance)
+			}
+			fmt.Fprintf(out, "ratchet ok: %s %v wall %.2fs (baseline %.2fs, limit %.2fs)\n",
+				nt.Name, row[:nWall], now, old, limit)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no produced row matched the baseline in %s — ratchet would never fire", path)
+	}
+	return nil
 }

@@ -61,6 +61,18 @@ type Config struct {
 	// ShardRetries bounds how many distinct nodes a shard is attempted on
 	// before the coordinator computes it locally; default 2.
 	ShardRetries int
+	// MinShardOps floors the per-shard operation count when the
+	// coordinator partitions a history for distributed checking: fewer
+	// shards are cut when the history is small, so near-empty slices
+	// don't pay fixed per-dispatch overhead (HTTP round trip, slice
+	// validation, digest framing) for no recording work. Default 40000;
+	// negative disables the floor (always one shard per worker).
+	MinShardOps int
+	// DisableBinaryWire forces the JSON wire format for shard dispatch.
+	// On a coordinator it stops binary job encoding; on a worker it stops
+	// advertising (and accepting) the binary codec. The escape hatch for
+	// rolling upgrades and wire-level debugging; see wire.go.
+	DisableBinaryWire bool
 	// Logger receives membership and dispatch events; nil discards them.
 	Logger *log.Logger
 }
@@ -86,6 +98,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.ShardRetries <= 0 {
 		c.ShardRetries = 2
 	}
+	if c.MinShardOps == 0 {
+		c.MinShardOps = 40000
+	}
+	if c.MinShardOps < 0 {
+		c.MinShardOps = 0
+	}
 	return c, nil
 }
 
@@ -102,6 +120,10 @@ type JoinRequest struct {
 	Name    string `json:"name"`
 	URL     string `json:"url"`
 	Version string `json:"version"`
+	// Wire lists the binary wire-format versions the worker speaks (see
+	// wire.go). Absent from old workers, which therefore get JSON shard
+	// jobs — the rolling-upgrade story in one field.
+	Wire []string `json:"wire,omitempty"`
 }
 
 // JoinResponse acknowledges a join.
@@ -225,6 +247,24 @@ func postJSON(ctx context.Context, hc *http.Client, url string, body io.ReadSeek
 	}
 }
 
+// apiErrorFrom turns a non-2xx response into a *server.APIError,
+// consuming (a bounded prefix of) the body.
+func apiErrorFrom(resp *http.Response) *server.APIError {
+	ae := &server.APIError{Status: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := time.ParseDuration(ra + "s"); err == nil {
+			ae.RetryAfter = secs
+		}
+	}
+	var body apiError
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body) == nil && body.Error != "" {
+		ae.Message, ae.Detail = body.Error, body.Detail
+	} else {
+		ae.Message = resp.Status
+	}
+	return ae
+}
+
 func postJSONOnce(ctx context.Context, hc *http.Client, url string, body io.Reader, contentType string, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, body)
 	if err != nil {
@@ -237,19 +277,7 @@ func postJSONOnce(ctx context.Context, hc *http.Client, url string, body io.Read
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		ae := &server.APIError{Status: resp.StatusCode}
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, err := time.ParseDuration(ra + "s"); err == nil {
-				ae.RetryAfter = secs
-			}
-		}
-		var body apiError
-		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body) == nil && body.Error != "" {
-			ae.Message, ae.Detail = body.Error, body.Detail
-		} else {
-			ae.Message = resp.Status
-		}
-		return ae
+		return apiErrorFrom(resp)
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)

@@ -1,11 +1,13 @@
 package cluster
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"sort"
@@ -25,10 +27,13 @@ import (
 // member is one worker as the coordinator tracks it.
 type member struct {
 	name, url, version string
-	healthy            bool
-	misses             int
-	sessions           int
-	lastSeen           time.Time
+	// wire records whether the worker advertised the binary wire format
+	// on join (see wire.go); without it the worker gets JSON shard jobs.
+	wire     bool
+	healthy  bool
+	misses   int
+	sessions int
+	lastSeen time.Time
 }
 
 // Coordinator runs the fleet: membership and health, session routing
@@ -121,6 +126,12 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, req *http.Request) {
 	rejoined := !known || !m.healthy || m.url != jr.URL
 	m.url = jr.URL
 	m.version = jr.Version
+	m.wire = false
+	for _, v := range jr.Wire {
+		if v == wireV1 {
+			m.wire = true
+		}
+	}
 	m.healthy = true
 	m.misses = 0
 	m.lastSeen = time.Now()
@@ -145,12 +156,17 @@ func (c *Coordinator) handleNodes(w http.ResponseWriter, req *http.Request) {
 	c.mu.Lock()
 	nodes := make([]server.ClusterNode, 0, len(c.members))
 	for _, m := range c.members {
+		wire := "json"
+		if m.wire {
+			wire = "binary"
+		}
 		nodes = append(nodes, server.ClusterNode{
 			Name:       m.name,
 			URL:        m.url,
 			Version:    m.version,
 			Healthy:    m.healthy,
 			Sessions:   m.sessions,
+			Wire:       wire,
 			LastSeenNS: int64(now.Sub(m.lastSeen)),
 		})
 	}
@@ -384,11 +400,20 @@ func (c *Coordinator) handleCheck(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
-	info, recs := c.disperse(req.Context(), h, opts)
-	rep, err := core.CheckShardedContext(req.Context(), h, opts, recs)
+	info, merger := c.disperse(req.Context(), h, opts)
+	var rep *core.Report
+	if merger == nil {
+		// Polynomial levels never build a polygraph; nothing was dispersed.
+		rep, err = core.CheckShardedContext(req.Context(), h, opts, nil)
+	} else {
+		rep, err = core.CheckMergedContext(req.Context(), merger)
+	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("shard merge: %v", err))
 		return
+	}
+	if info != nil && merger != nil {
+		info.ReplayNS = merger.ReplayNS()
 	}
 
 	doc := core.BuildReportDoc("viperd", "", h, parse, rep, nil, opts, nil)
@@ -402,6 +427,17 @@ func (c *Coordinator) handleCheck(w http.ResponseWriter, req *http.Request) {
 		mx.Add("viperd_cluster_cross_shard_edges_total", int64(info.CrossShardEdges))
 		mx.Add("viperd_cluster_cross_shard_constraints_total", int64(info.CrossShardConstraints))
 		mx.Add("viperd_cluster_local_fallbacks_total", int64(info.LocalFallbacks))
+		mx.Add("viperd_cluster_wire_bytes_total", info.WireBytesOut+info.WireBytesIn)
+		mx.Add("viperd_cluster_wire_bytes_out_total", info.WireBytesOut)
+		mx.Add("viperd_cluster_wire_bytes_in_total", info.WireBytesIn)
+		for _, s := range info.Shards {
+			switch s.Wire {
+			case "binary":
+				mx.Add("viperd_cluster_shards_binary_total", 1)
+			case "json":
+				mx.Add("viperd_cluster_shards_json_total", 1)
+			}
+		}
 	}
 
 	if rep.Outcome == core.Timeout && req.Context().Err() != nil {
@@ -411,106 +447,295 @@ func (c *Coordinator) handleCheck(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, doc)
 }
 
-// disperse partitions h by key range, records each shard (remotely when
-// healthy workers exist, locally otherwise), and returns the cluster
-// report section plus the concatenated records in global key order.
-// Polynomial levels never build a polygraph, so there is nothing to
-// distribute. Dispatch failures degrade, never fail: a shard whose
-// every candidate node refused is recorded locally, preserving the
-// verdict at the cost of coordinator CPU.
-func (c *Coordinator) disperse(ctx context.Context, h *history.History, opts core.Options) (*obs.ClusterInfo, []core.KeyShardRecord) {
+// shardOutcome is one shard's dispatch result: where it was recorded
+// and what the dispatch cost on the wire.
+type shardOutcome struct {
+	node               string
+	local              bool
+	wire               string // "binary" or "json" for remote shards
+	bytesOut, bytesIn  int64
+	encodeNS, decodeNS int64
+}
+
+// disperse partitions h by key range and records each shard (remotely
+// when healthy workers exist, locally otherwise), feeding every record
+// into the returned ShardMerger — which replays read-dependency edges
+// incrementally as records arrive, overlapping merge work with network
+// and remote recording time. Polynomial levels never build a polygraph,
+// so there is nothing to distribute (both returns are nil). Dispatch
+// failures degrade, never fail: a shard whose every candidate node
+// refused is recorded locally, preserving the verdict at the cost of
+// coordinator CPU.
+func (c *Coordinator) disperse(ctx context.Context, h *history.History, opts core.Options) (*obs.ClusterInfo, *core.ShardMerger) {
 	if opts.Level.Polynomial() {
 		return nil, nil
 	}
 	start := time.Now()
 	workers := c.healthyMembers()
 	info := &obs.ClusterInfo{Coordinator: c.cfg.NodeName, Workers: len(workers)}
+	merger := core.NewShardMerger(h, opts)
 
 	if len(workers) == 0 {
 		kr := keyRange{lo: 0, hi: len(h.Keys())}
 		recs := core.BuildShardRecords(h, opts, h.Keys())
+		for i := range recs {
+			if err := merger.Add(i, recs[i]); err != nil {
+				c.cfg.logf("cluster: local record merge: %v", err)
+			}
+		}
 		si, _, _ := shardInfo(h, opts, kr, recs, c.cfg.NodeName, true)
 		info.Shards = []obs.ClusterShard{si}
 		info.MergeNS = int64(time.Since(start))
-		return info, recs
+		return info, merger
 	}
 
-	ranges := partitionKeys(h, len(workers))
-	type result struct {
-		recs  []core.KeyShardRecord
-		node  string
-		local bool
+	ranges := partitionKeys(h, len(workers), c.cfg.MinShardOps)
+	type stat struct {
+		si                    obs.ClusterShard
+		crossEdges, crossCons int
 	}
-	results := make([]result, len(ranges))
+	outcomes := make([]shardOutcome, len(ranges))
+	stats := make([]stat, len(ranges))
 	var wg sync.WaitGroup
 	for i, kr := range ranges {
 		wg.Add(1)
 		go func(i int, kr keyRange) {
 			defer wg.Done()
-			tries := c.cfg.ShardRetries
-			if tries > len(workers) {
-				tries = len(workers)
-			}
-			for try := 0; try < tries; try++ {
-				wk := workers[(i+try)%len(workers)]
-				recs, err := c.sendShard(ctx, wk, h, kr, opts)
-				if err == nil {
-					results[i] = result{recs: recs, node: wk.name}
-					return
-				}
-				c.cfg.logf("cluster: shard %d (%d keys) on %q failed: %v", i, kr.size(), wk.name, err)
-			}
-			// Recording the shard's keys against the full history equals
-			// recording them against the slice — the emissions of a key
-			// depend only on that key's operations.
-			keys := h.Keys()[kr.lo:kr.hi]
-			results[i] = result{recs: core.BuildShardRecords(h, opts, keys), node: c.cfg.NodeName, local: true}
+			out := c.recordShard(ctx, workers, i, kr, h, opts, merger)
+			outcomes[i] = out
+			// The shard's records are all in the merger now; summarize them
+			// here so the stats pass overlaps other shards' dispatches.
+			si, crossEdges, crossCons := shardInfo(h, opts, kr, merger.Records(kr.lo, kr.hi), out.node, out.local)
+			si.Wire = out.wire
+			si.WireBytesOut, si.WireBytesIn = out.bytesOut, out.bytesIn
+			si.EncodeNS, si.DecodeNS = out.encodeNS, out.decodeNS
+			stats[i] = stat{si: si, crossEdges: crossEdges, crossCons: crossCons}
 		}(i, kr)
 	}
 	wg.Wait()
 
-	var recs []core.KeyShardRecord
-	for i, kr := range ranges {
-		r := results[i]
-		recs = append(recs, r.recs...)
-		si, crossEdges, crossCons := shardInfo(h, opts, kr, r.recs, r.node, r.local)
-		info.Shards = append(info.Shards, si)
-		info.CrossShardEdges += crossEdges
-		info.CrossShardConstraints += crossCons
-		if r.local {
+	for i := range ranges {
+		info.Shards = append(info.Shards, stats[i].si)
+		info.CrossShardEdges += stats[i].crossEdges
+		info.CrossShardConstraints += stats[i].crossCons
+		out := &outcomes[i]
+		if out.local {
 			info.LocalFallbacks++
+			continue
+		}
+		info.WireBytesOut += out.bytesOut
+		info.WireBytesIn += out.bytesIn
+		info.EncodeNS += out.encodeNS
+		info.DecodeNS += out.decodeNS
+		switch {
+		case info.Wire == "":
+			info.Wire = out.wire
+		case info.Wire != out.wire:
+			info.Wire = "mixed"
 		}
 	}
 	info.MergeNS = int64(time.Since(start))
-	return info, recs
+	return info, merger
 }
 
-// sendShard slices h to one key range and records it on wk.
-func (c *Coordinator) sendShard(ctx context.Context, wk member, h *history.History, kr keyRange, opts core.Options) ([]core.KeyShardRecord, error) {
+// recordShard gets one key range's records into the merger: try up to
+// ShardRetries distinct workers, then record locally.
+func (c *Coordinator) recordShard(ctx context.Context, workers []member, i int, kr keyRange, h *history.History, opts core.Options, merger *core.ShardMerger) shardOutcome {
+	tries := c.cfg.ShardRetries
+	if tries > len(workers) {
+		tries = len(workers)
+	}
+	for try := 0; try < tries; try++ {
+		wk := workers[(i+try)%len(workers)]
+		out, err := c.sendShard(ctx, wk, h, kr, opts, merger)
+		if err == nil {
+			return out
+		}
+		c.cfg.logf("cluster: shard %d (%d keys) on %q failed: %v", i, kr.size(), wk.name, err)
+	}
+	// Recording the shard's keys against the full history equals
+	// recording them against the slice — the emissions of a key depend
+	// only on that key's operations. Records a dead dispatch already
+	// streamed into the merger are deduplicated there (Add ignores keys
+	// it holds), so a partial remote digest plus a full local pass still
+	// merges exactly once per key.
+	keys := h.Keys()[kr.lo:kr.hi]
+	recs := core.BuildShardRecords(h, opts, keys)
+	for j := range recs {
+		if err := merger.Add(kr.lo+j, recs[j]); err != nil {
+			c.cfg.logf("cluster: local record merge: %v", err)
+		}
+	}
+	return shardOutcome{node: c.cfg.NodeName, local: true}
+}
+
+// sendShard records one key range on wk, negotiating the codec: binary
+// when the worker advertised it (and this coordinator allows it), with
+// a one-shot JSON downgrade if the worker refuses the binary body —
+// covering a worker that advertised the codec and was then rolled back.
+func (c *Coordinator) sendShard(ctx context.Context, wk member, h *history.History, kr keyRange, opts core.Options, merger *core.ShardMerger) (shardOutcome, error) {
+	if wk.wire && !c.cfg.DisableBinaryWire {
+		out, err := c.sendShardBinary(ctx, wk, h, kr, opts, merger)
+		if err == nil {
+			return out, nil
+		}
+		ae, isAPI := err.(*server.APIError)
+		if !isAPI || (ae.Status != http.StatusUnsupportedMediaType && ae.Status != http.StatusBadRequest) {
+			return out, err
+		}
+		c.cfg.logf("cluster: %q refused the binary shard job (%v); retrying as JSON", wk.name, err)
+	}
+	return c.sendShardJSON(ctx, wk, h, kr, opts, merger)
+}
+
+// retryShard runs one round-trip attempt function under the default
+// retry policy (429/503 with backoff), mirroring postJSON for bodies
+// that are regenerated per attempt rather than seeked.
+func retryShard(ctx context.Context, attempt func() (shardOutcome, error)) (shardOutcome, error) {
+	policy := server.DefaultRetryPolicy()
+	for n := 0; ; n++ {
+		out, err := attempt()
+		if err == nil {
+			return out, nil
+		}
+		ae, isAPI := err.(*server.APIError)
+		retryable := isAPI && (ae.Status == http.StatusTooManyRequests || ae.Status == http.StatusServiceUnavailable)
+		if !retryable || policy.MaxRetries <= 0 || n >= policy.MaxRetries {
+			return out, err
+		}
+		t := time.NewTimer(policy.Delay(n, ae.RetryAfter))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return out, err
+		}
+		t.Stop()
+	}
+}
+
+// sendShardBinary streams the binary shard job and replays the streamed
+// digest into the merger as records arrive. The job encodes straight
+// from the full history into the request body (no slice History, no
+// buffered copy), so encode, upload, remote recording, download, and
+// replay all overlap.
+func (c *Coordinator) sendShardBinary(ctx context.Context, wk member, h *history.History, kr keyRange, opts core.Options, merger *core.ShardMerger) (shardOutcome, error) {
+	// Named results: the deferred decode-stats collection below must land
+	// in the values the caller sees.
+	return retryShard(ctx, func() (out shardOutcome, err error) {
+		out = shardOutcome{node: wk.name, wire: "binary"}
+		pr, pw := io.Pipe()
+		cw := &countingWriter{w: pw}
+		encCh := make(chan int64, 1)
+		go func() {
+			t0 := time.Now()
+			err := encodeShardJob(cw, h, kr, opts)
+			pw.CloseWithError(err)
+			encCh <- int64(time.Since(t0))
+		}()
+		collectEnc := func() {
+			// The transport closes the request body when the round trip
+			// ends; closing again is a harmless belt-and-braces unblock for
+			// the encoder before we collect its span.
+			pr.Close()
+			out.encodeNS, out.bytesOut = <-encCh, cw.n
+		}
+
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, wk.url+"/cluster/shard", pr)
+		if err != nil {
+			collectEnc()
+			return out, err
+		}
+		req.Header.Set("Content-Type", shardContentTypeV1)
+		req.Header.Set("Accept", digestContentTypeV1)
+		resp, err := c.httpc.Do(req)
+		collectEnc()
+		if err != nil {
+			return out, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			return out, apiErrorFrom(resp)
+		}
+
+		decStart := time.Now()
+		cr := &countingReader{r: resp.Body}
+		defer func() {
+			out.decodeNS, out.bytesIn = int64(time.Since(decStart)), cr.n
+		}()
+		if !strings.HasPrefix(resp.Header.Get("Content-Type"), digestContentTypeV1) {
+			// The worker downgraded the digest to JSON (it shouldn't, since
+			// we only send binary jobs to workers that advertised the codec,
+			// but a decoder must not trust the peer's symmetry).
+			return out, decodeJSONDigest(cr, wk.name, kr, merger)
+		}
+		_, err = decodeDigest(bufio.NewReaderSize(cr, 64<<10), h.Keys()[kr.lo:kr.hi], func(j int, rec core.KeyShardRecord) error {
+			return merger.Add(kr.lo+j, rec)
+		})
+		return out, err
+	})
+}
+
+// sendShardJSON is the legacy dispatch: slice, buffer the JSON body,
+// post, decode the JSON digest. Kept wire-compatible with PR-9 peers in
+// both directions.
+func (c *Coordinator) sendShardJSON(ctx context.Context, wk member, h *history.History, kr keyRange, opts core.Options, merger *core.ShardMerger) (shardOutcome, error) {
 	slice, _, err := sliceHistory(h, kr)
 	if err != nil {
-		return nil, err
+		return shardOutcome{node: wk.name, wire: "json"}, err
 	}
+	encStart := time.Now()
 	var buf bytes.Buffer
 	hdr, err := json.Marshal(headerFor(opts, kr.size()))
 	if err != nil {
-		return nil, err
+		return shardOutcome{node: wk.name, wire: "json"}, err
 	}
 	buf.Write(hdr)
 	buf.WriteByte('\n')
 	if err := histio.Encode(&buf, slice); err != nil {
-		return nil, err
+		return shardOutcome{node: wk.name, wire: "json"}, err
 	}
-	var resp shardResponse
-	err = postJSON(ctx, c.httpc, wk.url+"/cluster/shard",
-		bytes.NewReader(buf.Bytes()), "application/octet-stream", &resp, server.DefaultRetryPolicy())
-	if err != nil {
-		return nil, err
+	encodeNS := int64(time.Since(encStart))
+
+	return retryShard(ctx, func() (shardOutcome, error) {
+		out := shardOutcome{node: wk.name, wire: "json", encodeNS: encodeNS, bytesOut: int64(buf.Len())}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, wk.url+"/cluster/shard", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return out, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := c.httpc.Do(req)
+		if err != nil {
+			return out, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			return out, apiErrorFrom(resp)
+		}
+		decStart := time.Now()
+		cr := &countingReader{r: resp.Body}
+		err = decodeJSONDigest(cr, wk.name, kr, merger)
+		out.decodeNS, out.bytesIn = int64(time.Since(decStart)), cr.n
+		return out, err
+	})
+}
+
+// decodeJSONDigest decodes a legacy JSON shardResponse and merges its
+// records.
+func decodeJSONDigest(r io.Reader, worker string, kr keyRange, merger *core.ShardMerger) error {
+	var sr shardResponse
+	if err := json.NewDecoder(r).Decode(&sr); err != nil {
+		return fmt.Errorf("decoding digest from %q: %v", worker, err)
 	}
-	if len(resp.Records) != kr.size() {
-		return nil, fmt.Errorf("worker %q returned %d records for %d keys", wk.name, len(resp.Records), kr.size())
+	if len(sr.Records) != kr.size() {
+		return fmt.Errorf("worker %q returned %d records for %d keys", worker, len(sr.Records), kr.size())
 	}
-	return resp.Records, nil
+	for j := range sr.Records {
+		if err := merger.Add(kr.lo+j, sr.Records[j]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // shardInfo summarizes one shard's digest for the report's cluster

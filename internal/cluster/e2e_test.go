@@ -27,11 +27,14 @@ import (
 
 // fastCfg makes membership converge in tens of milliseconds so the
 // lifecycle tests can observe demotion without multi-second sleeps.
+// MinShardOps is disabled so shard counts stay deterministic per worker
+// count even for the small histories these tests use.
 func fastCfg(name string) Config {
 	return Config{
 		NodeName:          name,
 		HeartbeatInterval: 25 * time.Millisecond,
 		HeartbeatMisses:   2,
+		MinShardOps:       -1,
 	}
 }
 
@@ -79,6 +82,11 @@ func startCoordinator(t *testing.T) (*Coordinator, *testNode) {
 
 func startWorker(t *testing.T, name, coordURL string) (*Worker, *testNode) {
 	t.Helper()
+	return startWorkerCfg(t, name, coordURL, func(*Config) {})
+}
+
+func startWorkerCfg(t *testing.T, name, coordURL string, tweak func(*Config)) (*Worker, *testNode) {
+	t.Helper()
 	srv := server.New(server.Config{Role: "worker", IdleTTL: -1})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -86,6 +94,7 @@ func startWorker(t *testing.T, name, coordURL string) (*Worker, *testNode) {
 	}
 	cfg := fastCfg(name)
 	cfg.AdvertiseURL = "http://" + l.Addr().String()
+	tweak(&cfg)
 	wk, err := NewWorker(srv, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -193,6 +202,115 @@ func TestClusterCheckParity(t *testing.T) {
 	}
 	if len(doc.Cluster.Shards) != 2 {
 		t.Fatalf("got %d shards for 2 workers", len(doc.Cluster.Shards))
+	}
+	if doc.Cluster.Wire != "binary" {
+		t.Fatalf("homogeneous fleet negotiated wire %q, want binary", doc.Cluster.Wire)
+	}
+	if doc.Cluster.WireBytesOut == 0 || doc.Cluster.WireBytesIn == 0 {
+		t.Fatalf("wire byte accounting empty: out=%d in=%d", doc.Cluster.WireBytesOut, doc.Cluster.WireBytesIn)
+	}
+	for _, sh := range doc.Cluster.Shards {
+		if sh.Wire != "binary" || sh.WireBytesOut == 0 || sh.WireBytesIn == 0 {
+			t.Fatalf("shard %+v missing binary wire accounting", sh)
+		}
+	}
+}
+
+// TestClusterMixedWire: a fleet where one worker predates (or has
+// disabled) the binary wire format still produces the single-node
+// verdict — the coordinator speaks binary to capable workers and JSON
+// to the rest, and reports the mix.
+func TestClusterMixedWire(t *testing.T) {
+	coord, cn := startCoordinator(t)
+	startWorker(t, "w1", cn.url)
+	startWorkerCfg(t, "w2", cn.url, func(c *Config) { c.DisableBinaryWire = true })
+	if got := len(coord.healthyMembers()); got != 2 {
+		t.Fatalf("coordinator sees %d healthy members, want 2", got)
+	}
+
+	h := generated(t, workload.NewBlindWRW(), 1500, 29)
+	want := localDoc(h, core.Options{Level: core.AdyaSI})
+
+	cl := server.NewClient(cn.url)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	nodes, err := cl.ClusterNodes(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wires := map[string]string{}
+	for _, n := range nodes.Nodes {
+		wires[n.Name] = n.Wire
+	}
+	if wires["w1"] != "binary" || wires["w2"] != "json" {
+		t.Fatalf("/cluster/nodes wire capabilities %v, want w1=binary w2=json", wires)
+	}
+
+	doc, err := cl.ClusterCheck(ctx, bytes.NewReader(encode(t, h)), server.SessionConfig{Level: "si"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Outcome != want.Outcome.String() {
+		t.Fatalf("mixed-wire outcome %q, single-node %q", doc.Outcome, want.Outcome)
+	}
+	if doc.Graph.Nodes != want.Nodes || doc.Graph.KnownEdges != want.KnownEdges || doc.Graph.Constraints != want.Constraints {
+		t.Fatalf("mixed-wire polygraph (n=%d e=%d c=%d) differs from single-node (n=%d e=%d c=%d)",
+			doc.Graph.Nodes, doc.Graph.KnownEdges, doc.Graph.Constraints,
+			want.Nodes, want.KnownEdges, want.Constraints)
+	}
+	if doc.Cluster == nil || doc.Cluster.LocalFallbacks != 0 {
+		t.Fatalf("mixed-wire cluster section %+v: want no local fallbacks", doc.Cluster)
+	}
+	if doc.Cluster.Wire != "mixed" {
+		t.Fatalf("cluster wire %q, want mixed", doc.Cluster.Wire)
+	}
+	shardWires := map[string]string{}
+	for _, sh := range doc.Cluster.Shards {
+		shardWires[sh.Node] = sh.Wire
+		if sh.WireBytesOut == 0 || sh.WireBytesIn == 0 {
+			t.Fatalf("shard %+v missing wire byte accounting", sh)
+		}
+	}
+	if shardWires["w1"] != "binary" || shardWires["w2"] != "json" {
+		t.Fatalf("per-shard wires %v, want w1=binary w2=json", shardWires)
+	}
+}
+
+// TestClusterBinaryWireDisabledCoordinator: turning the codec off on
+// the coordinator side downgrades the whole fleet to JSON with no
+// verdict change — the rolling-upgrade escape hatch.
+func TestClusterBinaryWireDisabledCoordinator(t *testing.T) {
+	srv := server.New(server.Config{Role: "coordinator", IdleTTL: -1})
+	ccfg := fastCfg("coord")
+	ccfg.DisableBinaryWire = true
+	coord, err := NewCoordinator(srv, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := serveNode(t, srv, coord.Handler(srv.Handler()), coord.Close)
+	startWorker(t, "w1", cn.url)
+	startWorker(t, "w2", cn.url)
+
+	h := generated(t, workload.NewBlindWRW(), 1200, 31)
+	want := localDoc(h, core.Options{Level: core.AdyaSI})
+	cl := server.NewClient(cn.url)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	doc, err := cl.ClusterCheck(ctx, bytes.NewReader(encode(t, h)), server.SessionConfig{Level: "si"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Outcome != want.Outcome.String() {
+		t.Fatalf("json-only outcome %q, single-node %q", doc.Outcome, want.Outcome)
+	}
+	if doc.Cluster == nil || doc.Cluster.Wire != "json" {
+		t.Fatalf("cluster wire %+v, want json across the board", doc.Cluster)
+	}
+	for _, sh := range doc.Cluster.Shards {
+		if sh.Wire != "json" {
+			t.Fatalf("shard %+v negotiated %q with binary disabled", sh, sh.Wire)
+		}
 	}
 }
 

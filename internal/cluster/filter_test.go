@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"bufio"
+	"bytes"
 	"reflect"
 	"testing"
 
@@ -23,7 +25,7 @@ func generated(t *testing.T, w workload.Generator, txns int, seed int64) *histor
 func TestPartitionKeysCoversContiguously(t *testing.T) {
 	h := histgen.SI(histgen.Spec{Txns: 150, Keys: 17, MaxConcurrency: 5, Seed: 3})
 	for _, shards := range []int{1, 2, 3, 5, 16, 40} {
-		ranges := partitionKeys(h, shards)
+		ranges := partitionKeys(h, shards, 0)
 		if len(ranges) == 0 || len(ranges) > shards {
 			t.Fatalf("%d shards: got %d ranges", shards, len(ranges))
 		}
@@ -45,7 +47,10 @@ func TestPartitionKeysCoversContiguously(t *testing.T) {
 // worker receives produces exactly the records a single node would
 // compute for those keys against the full history — including
 // workloads with range queries (whose absent-key genesis reads are
-// derived per shard) and read-modify-write chains.
+// derived per shard) and read-modify-write chains. Both wire paths are
+// pinned: the JSON slice and the binary shard job must put the same
+// history in front of the worker, and the binary digest must round-trip
+// the records bit-for-bit.
 func TestSliceRecordsEqualFull(t *testing.T) {
 	histories := map[string]*history.History{
 		"histgen-si": histgen.SI(histgen.Spec{Txns: 200, Keys: 9, MaxConcurrency: 6, AbortEvery: 7, Seed: 5}),
@@ -58,7 +63,7 @@ func TestSliceRecordsEqualFull(t *testing.T) {
 			opts := core.Options{Level: level, Parallelism: 1}
 			full := core.BuildShardRecords(h, opts, h.Keys())
 			for _, shards := range []int{2, 3, 5} {
-				ranges := partitionKeys(h, shards)
+				ranges := partitionKeys(h, shards, 0)
 				for ri, kr := range ranges {
 					slice, touches, err := sliceHistory(h, kr)
 					if err != nil {
@@ -77,9 +82,94 @@ func TestSliceRecordsEqualFull(t *testing.T) {
 						t.Fatalf("%s/%v shards=%d range=%d: slice records differ from full-history records",
 							name, level, shards, ri)
 					}
+
+					// Binary job: decoding must reproduce the slice (options,
+					// key table, every transaction) and therefore its records.
+					var jobBuf bytes.Buffer
+					if err := encodeShardJob(&jobBuf, h, kr, opts); err != nil {
+						t.Fatalf("%s/%v range=%d: encoding shard job: %v", name, level, ri, err)
+					}
+					dopts, dh, dkeys, err := decodeShardJob(bufio.NewReader(&jobBuf))
+					if err != nil {
+						t.Fatalf("%s/%v range=%d: decoding shard job: %v", name, level, ri, err)
+					}
+					if dopts.Level != opts.Level || dopts.Parallelism != opts.Parallelism ||
+						dopts.DisableCombineWrites != opts.DisableCombineWrites ||
+						dopts.DisableCoalesce != opts.DisableCoalesce {
+						t.Fatalf("%s/%v range=%d: options %+v decoded as %+v", name, level, ri, opts, dopts)
+					}
+					if !reflect.DeepEqual(dkeys, keys) || !reflect.DeepEqual(dh.Keys(), keys) {
+						t.Fatalf("%s/%v range=%d: binary job key table diverges", name, level, ri)
+					}
+					for i := range slice.Txns[1:] {
+						if !reflect.DeepEqual(slice.Txns[i+1], dh.Txns[i+1]) {
+							t.Fatalf("%s/%v range=%d: txn %d differs through the binary job", name, level, ri, i+1)
+						}
+					}
+					if gotBin := core.BuildShardRecords(dh, dopts, dh.Keys()); !reflect.DeepEqual(gotBin, want) {
+						t.Fatalf("%s/%v range=%d: binary-job records differ from full-history records", name, level, ri)
+					}
+
+					// Binary digest: encode→decode must return the records
+					// bit-for-bit, in streaming order.
+					var digBuf bytes.Buffer
+					enc := newDigestEncoder(&digBuf, "w1")
+					for i := range got {
+						if err := enc.record(&got[i]); err != nil {
+							t.Fatalf("%s/%v range=%d: encoding digest: %v", name, level, ri, err)
+						}
+					}
+					if err := enc.close(); err != nil {
+						t.Fatalf("%s/%v range=%d: closing digest: %v", name, level, ri, err)
+					}
+					back := make([]core.KeyShardRecord, len(keys))
+					node, err := decodeDigest(bufio.NewReader(&digBuf), keys, func(i int, rec core.KeyShardRecord) error {
+						back[i] = rec
+						return nil
+					})
+					if err != nil {
+						t.Fatalf("%s/%v range=%d: decoding digest: %v", name, level, ri, err)
+					}
+					if node != "w1" {
+						t.Fatalf("%s/%v range=%d: digest node %q", name, level, ri, node)
+					}
+					if !reflect.DeepEqual(back, want) {
+						t.Fatalf("%s/%v range=%d: digest records differ after round trip", name, level, ri)
+					}
 				}
 			}
 		}
+	}
+}
+
+// TestPartitionKeysFloor: the min-ops-per-shard floor caps the shard
+// count for small histories so near-empty slices don't pay per-dispatch
+// overhead, and a disabled floor restores one shard per worker.
+func TestPartitionKeysFloor(t *testing.T) {
+	h := generated(t, workload.NewBlindWRW(), 500, 3)
+	total := 0
+	for _, txn := range h.Txns[1:] {
+		total += len(txn.Ops)
+	}
+	if floor := total/2 + 1; len(partitionKeys(h, 8, floor)) != 1 {
+		t.Fatalf("floor %d over %d ops: want a single shard", floor, total)
+	}
+	if got := partitionKeys(h, 8, total/3); len(got) != 3 {
+		t.Fatalf("floor %d over %d ops: got %d shards, want 3", total/3, total, len(got))
+	}
+	if got := partitionKeys(h, 8, 0); len(got) != 8 {
+		t.Fatalf("no floor: got %d shards, want 8", len(got))
+	}
+	// The floored partition still covers the key space contiguously.
+	next := 0
+	for _, kr := range partitionKeys(h, 8, total/3) {
+		if kr.lo != next || kr.hi <= kr.lo {
+			t.Fatalf("range %+v not contiguous from %d", kr, next)
+		}
+		next = kr.hi
+	}
+	if next != len(h.Keys()) {
+		t.Fatalf("floored ranges cover %d of %d keys", next, len(h.Keys()))
 	}
 }
 
@@ -87,7 +177,7 @@ func TestSliceRecordsEqualFull(t *testing.T) {
 // identity intact, even when none of its operations touch the shard.
 func TestSliceKeepsSkeletons(t *testing.T) {
 	h := histgen.SI(histgen.Spec{Txns: 80, Keys: 8, MaxConcurrency: 4, AbortEvery: 5, Seed: 1})
-	ranges := partitionKeys(h, 4)
+	ranges := partitionKeys(h, 4, 0)
 	for _, kr := range ranges {
 		slice, touches, err := sliceHistory(h, kr)
 		if err != nil {

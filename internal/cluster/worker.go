@@ -8,12 +8,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"viper/internal/core"
 	"viper/internal/histio"
+	"viper/internal/history"
 	"viper/internal/server"
 	"viper/internal/version"
 )
@@ -89,7 +91,11 @@ func (w *Worker) Close() {
 }
 
 func (w *Worker) announce(ctx context.Context, coordinatorURL string) error {
-	buf, err := json.Marshal(JoinRequest{Name: w.cfg.NodeName, URL: w.cfg.AdvertiseURL, Version: version.Version})
+	jr := JoinRequest{Name: w.cfg.NodeName, URL: w.cfg.AdvertiseURL, Version: version.Version}
+	if !w.cfg.DisableBinaryWire {
+		jr.Wire = []string{wireV1}
+	}
+	buf, err := json.Marshal(jr)
 	if err != nil {
 		return err
 	}
@@ -120,10 +126,14 @@ func (w *Worker) announceLoop(coordinatorURL string) {
 }
 
 // handleShard records one key-sliced history and returns the digest.
-// The body is a JSON header line (shardHeader) followed by a histio
-// stream; the work runs through the server's admission gate exactly
-// like a session audit, so shard jobs respect the node's capacity and
-// are drained by Shutdown.
+// Two request encodings are accepted, keyed on Content-Type: the binary
+// shard job (wire.go) and the legacy JSON header line + histio stream.
+// The digest goes back binary (streamed record by record, so the
+// coordinator replays early records while later keys still record) when
+// the request was binary and Accept asks for it; JSON otherwise. The
+// work runs through the server's admission gate exactly like a session
+// audit, so shard jobs respect the node's capacity and are drained by
+// Shutdown.
 func (w *Worker) handleShard(rw http.ResponseWriter, req *http.Request) {
 	release, err := w.srv.AdmitAudit(req.Context())
 	if err != nil {
@@ -133,31 +143,116 @@ func (w *Worker) handleShard(rw http.ResponseWriter, req *http.Request) {
 	}
 	defer release()
 
-	hdr, body, err := splitHeader(req.Body)
-	if err != nil {
-		writeError(rw, http.StatusBadRequest, fmt.Errorf("reading shard header: %v", err))
-		return
-	}
-	opts, err := hdr.options()
-	if err != nil {
-		writeError(rw, http.StatusBadRequest, err)
-		return
-	}
-	h, err := histio.Decode(body)
-	if err != nil {
-		writeError(rw, http.StatusBadRequest, err)
-		return
-	}
-	if got := len(h.Keys()); got != hdr.Keys {
-		writeError(rw, http.StatusBadRequest,
-			fmt.Errorf("shard slice has %d written keys, header declares %d", got, hdr.Keys))
+	binaryJob := strings.HasPrefix(req.Header.Get("Content-Type"), shardContentTypeV1)
+	if binaryJob && w.cfg.DisableBinaryWire {
+		// 415 tells a capable coordinator to retry this job as JSON.
+		writeError(rw, http.StatusUnsupportedMediaType, fmt.Errorf("binary wire format disabled on this node"))
 		return
 	}
 
-	recs := core.BuildShardRecords(h, opts, h.Keys())
-	w.srv.Metrics().Add("viperd_cluster_shards_recorded_total", 1)
-	w.srv.Metrics().Add("viperd_cluster_shard_keys_total", int64(len(recs)))
-	writeJSON(rw, http.StatusOK, shardResponse{Node: w.cfg.NodeName, Records: recs})
+	var (
+		opts core.Options
+		h    *history.History
+	)
+	cr := &countingReader{r: req.Body}
+	if binaryJob {
+		var keys []history.Key
+		opts, h, keys, err = decodeShardJob(bufio.NewReaderSize(cr, 64<<10))
+		if err != nil {
+			writeError(rw, http.StatusBadRequest, err)
+			return
+		}
+		if !slicesEqualKeys(h.Keys(), keys) {
+			writeError(rw, http.StatusBadRequest,
+				fmt.Errorf("shard slice's written keys disagree with the job's key table (%d vs %d keys)", len(h.Keys()), len(keys)))
+			return
+		}
+	} else {
+		var hdr shardHeader
+		var body io.Reader
+		hdr, body, err = splitHeader(cr)
+		if err != nil {
+			writeError(rw, http.StatusBadRequest, fmt.Errorf("reading shard header: %v", err))
+			return
+		}
+		opts, err = hdr.options()
+		if err != nil {
+			writeError(rw, http.StatusBadRequest, err)
+			return
+		}
+		h, err = histio.Decode(body)
+		if err != nil {
+			writeError(rw, http.StatusBadRequest, err)
+			return
+		}
+		if got := len(h.Keys()); got != hdr.Keys {
+			writeError(rw, http.StatusBadRequest,
+				fmt.Errorf("shard slice has %d written keys, header declares %d", got, hdr.Keys))
+			return
+		}
+	}
+
+	mx := w.srv.Metrics()
+	mx.Add("viperd_cluster_wire_bytes_total", cr.n)
+	mx.Add("viperd_cluster_wire_bytes_in_total", cr.n)
+
+	binaryDigest := binaryJob && strings.Contains(req.Header.Get("Accept"), digestContentTypeV1)
+	if !binaryDigest {
+		recs := core.BuildShardRecords(h, opts, h.Keys())
+		mx.Add("viperd_cluster_shards_recorded_total", 1)
+		mx.Add("viperd_cluster_shard_keys_total", int64(len(recs)))
+		writeJSON(rw, http.StatusOK, shardResponse{Node: w.cfg.NodeName, Records: recs})
+		return
+	}
+
+	// Stream the digest: each record goes on the wire as soon as the
+	// recording pass completes its key (and every key before it), with
+	// an explicit flush every ~64 KiB so the coordinator's replay
+	// overlaps the rest of the recording.
+	rw.Header().Set("Content-Type", digestContentTypeV1)
+	rw.WriteHeader(http.StatusOK)
+	cw := &countingWriter{w: rw}
+	flusher, _ := rw.(http.Flusher)
+	enc := newDigestEncoder(cw, w.cfg.NodeName)
+	err = core.BuildShardRecordsOrdered(h, opts, h.Keys(), func(i int, rec *core.KeyShardRecord) error {
+		if err := enc.record(rec); err != nil {
+			return err
+		}
+		if flusher != nil && enc.buffered() >= 64<<10 {
+			if err := enc.flush(); err != nil {
+				return err
+			}
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err == nil {
+		err = enc.close()
+	}
+	if err != nil {
+		// Headers are gone; all we can do is cut the stream short. The
+		// coordinator's decoder sees a truncated digest and retries or
+		// falls back.
+		w.cfg.logf("cluster: streaming shard digest failed: %v", err)
+		w.srv.Metrics().Add("viperd_cluster_shard_stream_errors_total", 1)
+		return
+	}
+	mx.Add("viperd_cluster_shards_recorded_total", 1)
+	mx.Add("viperd_cluster_shard_keys_total", int64(len(h.Keys())))
+	mx.Add("viperd_cluster_wire_bytes_total", cw.n)
+	mx.Add("viperd_cluster_wire_bytes_out_total", cw.n)
+}
+
+func slicesEqualKeys(a, b []history.Key) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // splitHeader reads the body's first line as a shardHeader and returns

@@ -15,6 +15,16 @@
 // evidence — is byte-identical to a single-node Build over the full
 // history for any shard count and any assignment of keys to shards.
 //
+// Two streaming seams let the cluster overlap this work with the
+// network: BuildShardRecordsOrdered emits each key's record as soon as
+// it is complete (in key order, while later keys are still recording),
+// and ShardMerger accepts records in any arrival order, replaying the
+// read-dependency pass incrementally behind a contiguous-key frontier.
+// The constraint-pass replay is order-sensitive across keys (duplicate
+// suppression against the evolving known set), so it runs at Finish,
+// after every record has arrived; the merged polygraph is still
+// byte-identical to the batch merge and to a single-node Build.
+//
 // The types here are wire-friendly (flat int32 edge arrays, short JSON
 // tags) because internal/cluster serializes them between nodes.
 package core
@@ -22,6 +32,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -136,6 +147,83 @@ func shardSkeleton(h *history.History, opts Options) *Polygraph {
 	return pg
 }
 
+func toWireRecord(key history.Key, out *keyRecord) KeyShardRecord {
+	rec := KeyShardRecord{Key: string(key), WR: flattenEdges(out.wr)}
+	if n := len(out.ops); n > 0 {
+		rec.Ops = make([]ShardOp, n)
+		for j := range out.ops {
+			rec.Ops[j] = toShardOp(&out.ops[j])
+		}
+	}
+	return rec
+}
+
+// BuildShardRecordsOrdered runs the per-key recording pass over keys and
+// hands each key's record to emit in ascending key-index order, calling
+// emit for key i as soon as every key ≤ i has been recorded — while the
+// pool is still recording later keys. This is the streaming seam the
+// cluster worker uses to put early records on the wire before the shard
+// finishes. The records passed to emit are identical to
+// BuildShardRecords' output; emit is called from the calling goroutine
+// only. An emit error aborts the remaining work and is returned.
+func BuildShardRecordsOrdered(h *history.History, opts Options, keys []history.Key, emit func(i int, rec *KeyShardRecord) error) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	pg := shardSkeleton(h, opts)
+	workers := opts.workers()
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	readers := pg.collectReadsSharded(workers)
+	wbk := writersByKey(h)
+
+	outs := make([]keyRecord, len(keys))
+	done := make([]atomic.Bool, len(keys))
+	ready := make(chan struct{}, len(keys))
+	combine, coalesce := !opts.DisableCombineWrites, !opts.DisableCoalesce
+	var abort atomic.Bool
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !abort.Load() {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(keys) {
+					return
+				}
+				key := keys[i]
+				byWriter := readers[key]
+				recordReadDeps(pg, byWriter, &outs[i])
+				pg.buildKeyConstraints(key, wbk[key], byWriter, combine, coalesce, keyRecorder{pg: pg, rec: &outs[i]})
+				done[i].Store(true)
+				ready <- struct{}{}
+			}
+		}()
+	}
+
+	var emitErr error
+	next := 0
+	for next < len(keys) && emitErr == nil {
+		if !done[next].Load() {
+			<-ready
+			continue
+		}
+		rec := toWireRecord(keys[next], &outs[next])
+		if err := emit(next, &rec); err != nil {
+			emitErr = err
+			abort.Store(true)
+			break
+		}
+		outs[next] = keyRecord{} // release as we go: the shard may be large
+		next++
+	}
+	wg.Wait()
+	return emitErr
+}
+
 // BuildShardRecords runs the per-key recording pass of the sharded build
 // over the given keys and returns their records in wire form, in the
 // given key order. The history must be validated; keys must be a subset
@@ -144,39 +232,164 @@ func shardSkeleton(h *history.History, opts Options) *Polygraph {
 // over disjoint key sets compose. opts.Parallelism bounds the local
 // worker pool; the output is identical for any worker count.
 func BuildShardRecords(h *history.History, opts Options, keys []history.Key) []KeyShardRecord {
-	pg := shardSkeleton(h, opts)
-	workers := opts.workers()
-	readers := pg.collectReadsSharded(workers)
-	wbk := writersByKey(h)
-
-	outs := make([]keyRecord, len(keys))
-	combine, coalesce := !opts.DisableCombineWrites, !opts.DisableCoalesce
-	var cursor atomic.Int64
-	pg.runShards(workers, func(int) {
-		for {
-			i := int(cursor.Add(1)) - 1
-			if i >= len(keys) {
-				return
-			}
-			key := keys[i]
-			byWriter := readers[key]
-			recordReadDeps(pg, byWriter, &outs[i])
-			pg.buildKeyConstraints(key, wbk[key], byWriter, combine, coalesce, keyRecorder{pg: pg, rec: &outs[i]})
-		}
-	})
-
 	recs := make([]KeyShardRecord, len(keys))
-	for i, key := range keys {
-		rec := KeyShardRecord{Key: string(key), WR: flattenEdges(outs[i].wr)}
-		if n := len(outs[i].ops); n > 0 {
-			rec.Ops = make([]ShardOp, n)
-			for j := range outs[i].ops {
-				rec.Ops[j] = toShardOp(&outs[i].ops[j])
+	// The emit callback never errors, so Ordered cannot either.
+	_ = BuildShardRecordsOrdered(h, opts, keys, func(i int, rec *KeyShardRecord) error {
+		recs[i] = *rec
+		return nil
+	})
+	return recs
+}
+
+// ShardMerger replays shard records into a polygraph incrementally, in
+// whatever order they arrive. It maintains a contiguous-key frontier:
+// when records 0..i are all present, their read-dependency edges have
+// been replayed (that pass is key-ordered but independent of later
+// keys). The constraint-pass replay consults the evolving known set and
+// must see every WR edge of every key first, so it runs in Finish once
+// all records are in. Add is safe for concurrent use and idempotent:
+// a duplicate record for a key it already holds is ignored, which makes
+// retried dispatches (where the first attempt died mid-stream after
+// some records were applied) safe — the recording pass is deterministic,
+// so any complete copy of a key's record is identical.
+type ShardMerger struct {
+	h    *history.History
+	opts Options
+
+	mu       sync.Mutex
+	pg       *Polygraph
+	recs     []KeyShardRecord
+	have     []bool
+	frontier int
+	replay   time.Duration
+	finished bool
+}
+
+// NewShardMerger prepares the global polygraph skeleton (node layout,
+// intra-transaction edges) and an empty record table over h.Keys().
+func NewShardMerger(h *history.History, opts Options) *ShardMerger {
+	pg := &Polygraph{
+		H:        h,
+		Level:    opts.Level,
+		ser:      opts.Level == Serializability,
+		knownSet: make(map[Edge]bool),
+	}
+	if pg.ser {
+		pg.NumNodes = int32(len(h.Txns))
+	} else {
+		pg.NumNodes = int32(len(h.Txns)) * 2
+	}
+	pg.auxBase = pg.NumNodes
+	pg.initNodeTS()
+	if !pg.ser {
+		for _, t := range h.Txns {
+			if t.Committed() {
+				pg.addKnown(Edge{pg.Begin(t.ID), pg.Commit(t.ID)}, EdgeIntra, "")
 			}
 		}
-		recs[i] = rec
 	}
-	return recs
+	return &ShardMerger{
+		h:    h,
+		opts: opts,
+		pg:   pg,
+		recs: make([]KeyShardRecord, len(h.Keys())),
+		have: make([]bool, len(h.Keys())),
+	}
+}
+
+// Add accepts the record for key index i of h.Keys() and advances the
+// read-dependency replay frontier over any newly contiguous prefix.
+// Records already held are ignored (see the type comment).
+func (m *ShardMerger) Add(i int, rec KeyShardRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := m.h.Keys()
+	if i < 0 || i >= len(keys) {
+		return fmt.Errorf("shard merge: record index %d out of range (history has %d keys)", i, len(keys))
+	}
+	if rec.Key != string(keys[i]) {
+		return fmt.Errorf("shard merge: record %d is key %q, want %q (records must cover h.Keys() in order)", i, rec.Key, keys[i])
+	}
+	if m.finished {
+		return fmt.Errorf("shard merge: Add after Finish")
+	}
+	if m.have[i] {
+		return nil
+	}
+	start := time.Now()
+	m.recs[i] = rec
+	m.have[i] = true
+	for m.frontier < len(keys) && m.have[m.frontier] {
+		key := keys[m.frontier]
+		for _, e := range unflattenEdges(m.recs[m.frontier].WR) {
+			m.pg.addKnown(e, EdgeWR, key)
+		}
+		m.frontier++
+	}
+	m.replay += time.Since(start)
+	return nil
+}
+
+// Missing reports how many keys still have no record.
+func (m *ShardMerger) Missing() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.have) - m.frontier
+}
+
+// Records returns the held records for key indices [lo, hi). Only valid
+// once every key in the range has been added; the caller must not
+// mutate the result.
+func (m *ShardMerger) Records(lo, hi int) []KeyShardRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recs[lo:hi]
+}
+
+// ReplayNS is the cumulative time spent replaying records (Add frontier
+// advances plus Finish's constraint pass).
+func (m *ShardMerger) ReplayNS() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int64(m.replay)
+}
+
+// Finish verifies coverage, replays every key's constraint-pass
+// emissions in key order, and completes the polygraph (session and
+// real-time edges). The result is byte-identical to Build(h, opts).
+func (m *ShardMerger) Finish() (*Polygraph, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.finished {
+		return nil, fmt.Errorf("shard merge: Finish called twice")
+	}
+	keys := m.h.Keys()
+	if m.frontier != len(keys) {
+		for i := range m.have {
+			if !m.have[i] {
+				return nil, fmt.Errorf("shard merge: no record for key %q (index %d)", keys[i], i)
+			}
+		}
+	}
+	m.finished = true
+	start := time.Now()
+	for i, key := range keys {
+		for j := range m.recs[i].Ops {
+			op := fromShardOp(&m.recs[i].Ops[j])
+			m.pg.applyOp(&op, key)
+		}
+	}
+	if m.opts.Level == StrongSessionSI {
+		m.pg.addSessionEdges()
+	}
+	if m.opts.Level.needsRealTime() {
+		m.pg.addRealTimeEdges(m.opts)
+	}
+	m.replay += time.Since(start)
+	m.pg.buildWall = m.replay
+	m.pg.buildCPU = m.replay
+	m.pg.buildWorkers = 1
+	return m.pg, nil
 }
 
 // BuildPolygraphFromShards replays shard records into a polygraph. recs
@@ -192,89 +405,65 @@ func BuildPolygraphFromShards(h *history.History, opts Options, recs []KeyShardR
 	if len(recs) != len(keys) {
 		return nil, fmt.Errorf("shard merge: %d records for %d keys", len(recs), len(keys))
 	}
-	for i, key := range keys {
-		if recs[i].Key != string(key) {
-			return nil, fmt.Errorf("shard merge: record %d is key %q, want %q (records must cover h.Keys() in order)", i, recs[i].Key, key)
+	m := NewShardMerger(h, opts)
+	for i := range recs {
+		if err := m.Add(i, recs[i]); err != nil {
+			return nil, err
 		}
 	}
+	return m.Finish()
+}
 
-	start := time.Now()
-	pg := &Polygraph{
-		H:        h,
-		Level:    opts.Level,
-		ser:      opts.Level == Serializability,
-		knownSet: make(map[Edge]bool),
+// CheckMergedContext finishes an incremental merge and checks the
+// result: the same polynomial-level dispatch and G1b screen as
+// CheckShardedContext, with replay time attributed to the construct
+// phase. The merger must hold a record for every key of its history.
+func CheckMergedContext(ctx context.Context, m *ShardMerger) (*Report, error) {
+	if m.opts.Level.Polynomial() {
+		return checkPolynomial(m.h, m.opts), nil
 	}
-	if pg.ser {
-		pg.NumNodes = int32(len(h.Txns))
-	} else {
-		pg.NumNodes = int32(len(h.Txns)) * 2
-	}
-	pg.auxBase = pg.NumNodes
-	pg.initNodeTS()
-
-	if !pg.ser {
-		for _, t := range h.Txns {
-			if t.Committed() {
-				pg.addKnown(Edge{pg.Begin(t.ID), pg.Commit(t.ID)}, EdgeIntra, "")
-			}
+	if ev := findG1b(m.h, 1); ev != nil {
+		n := len(m.h.Txns)
+		if m.opts.Level != Serializability {
+			n *= 2
 		}
+		return &Report{
+			Level:   m.opts.Level,
+			Outcome: Reject,
+			Anomaly: ev.String(),
+			Nodes:   n,
+		}, nil
 	}
-
-	for i, key := range keys {
-		for _, e := range unflattenEdges(recs[i].WR) {
-			pg.addKnown(e, EdgeWR, key)
-		}
+	pg, err := m.Finish()
+	if err != nil {
+		return nil, err
 	}
-	for i, key := range keys {
-		for j := range recs[i].Ops {
-			op := fromShardOp(&recs[i].Ops[j])
-			pg.applyOp(&op, key)
-		}
-	}
-
-	if opts.Level == StrongSessionSI {
-		pg.addSessionEdges()
-	}
-	if opts.Level.needsRealTime() {
-		pg.addRealTimeEdges(opts)
-	}
-	pg.buildWall = time.Since(start)
-	pg.buildCPU = pg.buildWall
-	pg.buildWorkers = 1
-	return pg, nil
+	replay := time.Duration(m.ReplayNS())
+	rep := CheckPolygraphContext(ctx, pg, m.opts)
+	rep.Phases.Construct += replay
+	rep.Phases.ConstructCPU += replay
+	return rep, nil
 }
 
 // CheckShardedContext is CheckHistoryContext with construction replaced
 // by a shard-record merge: the same polynomial-level dispatch, the same
-// G1b screen, then BuildPolygraphFromShards + CheckPolygraphContext.
-// Given records covering h.Keys(), the verdict (and violation evidence:
+// G1b screen, then a record replay + CheckPolygraphContext. Given
+// records covering h.Keys(), the verdict (and violation evidence:
 // anomaly string, known cycle, constraint set) is identical to
 // single-node CheckHistoryContext.
 func CheckShardedContext(ctx context.Context, h *history.History, opts Options, recs []KeyShardRecord) (*Report, error) {
 	if opts.Level.Polynomial() {
 		return checkPolynomial(h, opts), nil
 	}
-	if ev := findG1b(h, 1); ev != nil {
-		n := len(h.Txns)
-		if opts.Level != Serializability {
-			n *= 2
+	keys := h.Keys()
+	if len(recs) != len(keys) {
+		return nil, fmt.Errorf("shard merge: %d records for %d keys", len(recs), len(keys))
+	}
+	m := NewShardMerger(h, opts)
+	for i := range recs {
+		if err := m.Add(i, recs[i]); err != nil {
+			return nil, err
 		}
-		return &Report{
-			Level:   opts.Level,
-			Outcome: Reject,
-			Anomaly: ev.String(),
-			Nodes:   n,
-		}, nil
 	}
-	mergeStart := time.Now()
-	pg, err := BuildPolygraphFromShards(h, opts, recs)
-	if err != nil {
-		return nil, err
-	}
-	merge := time.Since(mergeStart)
-	rep := CheckPolygraphContext(ctx, pg, opts)
-	rep.Phases.Construct += merge
-	rep.Phases.ConstructCPU += merge
-	return rep, nil
+	return CheckMergedContext(ctx, m)
 }

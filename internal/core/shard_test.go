@@ -131,3 +131,98 @@ func TestBuildPolygraphFromShardsCoverage(t *testing.T) {
 		t.Fatal("out-of-order records accepted")
 	}
 }
+
+// TestShardMergerIncremental drives the streaming merge exactly as the
+// coordinator does — records arriving out of index order, some
+// duplicated by retries — and demands the serial build byte for byte.
+func TestShardMergerIncremental(t *testing.T) {
+	h, _, err := runner.Run(workload.NewBlindWRW(), runner.Config{Clients: 8, Txns: 250, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, level := range []Level{AdyaSI, StrongSessionSI, Serializability} {
+		opts := Options{Level: level, Parallelism: 1}
+		serial := Build(h, opts)
+		recs := BuildShardRecords(h, opts, h.Keys())
+
+		m := NewShardMerger(h, opts)
+		if got := m.Missing(); got != len(recs) {
+			t.Fatalf("fresh merger missing %d, want %d", got, len(recs))
+		}
+		order := rng.Perm(len(recs))
+		for n, i := range order {
+			if err := m.Add(i, recs[i]); err != nil {
+				t.Fatalf("%v: Add(%d): %v", level, i, err)
+			}
+			if n%3 == 0 { // a retried shard re-delivers an identical record
+				if err := m.Add(i, recs[i]); err != nil {
+					t.Fatalf("%v: duplicate Add(%d): %v", level, i, err)
+				}
+			}
+		}
+		if got := m.Missing(); got != 0 {
+			t.Fatalf("%v: complete merger still missing %d", level, got)
+		}
+		pg, err := m.Finish()
+		if err != nil {
+			t.Fatalf("%v: Finish: %v", level, err)
+		}
+		comparePolygraphs(t, serial, pg, "merger/"+level.String())
+	}
+}
+
+// TestShardMergerRejectsBadRecords: wrong indexes and wrong keys are
+// loud errors; finishing with gaps is too.
+func TestShardMergerRejectsBadRecords(t *testing.T) {
+	h := writeSkew(t)
+	opts := Options{Level: AdyaSI}
+	recs := BuildShardRecords(h, opts, h.Keys())
+
+	m := NewShardMerger(h, opts)
+	if err := m.Add(len(recs), recs[0]); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if err := m.Add(1, recs[0]); err == nil {
+		t.Fatal("record filed under the wrong key accepted")
+	}
+	if err := m.Add(0, recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Finish(); err == nil {
+		t.Fatal("Finish with missing records succeeded")
+	}
+}
+
+// TestBuildShardRecordsOrderedStreams: the ordered emitter hands out
+// every record exactly once, in key order, identical to the batch
+// builder, for several parallelism settings.
+func TestBuildShardRecordsOrderedStreams(t *testing.T) {
+	h, _, err := runner.Run(workload.NewBlindWRW(), runner.Config{Clients: 8, Txns: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Level: AdyaSI}
+	want := BuildShardRecords(h, opts, h.Keys())
+	for _, par := range []int{1, 2, 8} {
+		p := opts
+		p.Parallelism = par
+		next := 0
+		err := BuildShardRecordsOrdered(h, p, h.Keys(), func(i int, rec *KeyShardRecord) error {
+			if i != next {
+				t.Fatalf("par=%d: emitted record %d, want %d", par, i, next)
+			}
+			next++
+			if rec.Key != want[i].Key {
+				t.Fatalf("par=%d: record %d is key %q, want %q", par, i, rec.Key, want[i].Key)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next != len(want) {
+			t.Fatalf("par=%d: emitted %d records, want %d", par, next, len(want))
+		}
+	}
+}

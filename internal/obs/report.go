@@ -119,6 +119,19 @@ type ClusterShard struct {
 	// Local marks a shard the coordinator computed itself (no workers, or
 	// every dispatch attempt failed).
 	Local bool `json:"local,omitempty"`
+	// Wire names the codec the dispatch negotiated for a remotely
+	// recorded shard ("binary" or "json"); empty for local shards.
+	Wire string `json:"wire,omitempty"`
+	// WireBytesOut/WireBytesIn are the bytes the shard put on the wire:
+	// the encoded job shipped to the worker and the digest shipped back.
+	WireBytesOut int64 `json:"wire_bytes_out,omitempty"`
+	WireBytesIn  int64 `json:"wire_bytes_in,omitempty"`
+	// EncodeNS/DecodeNS are the coordinator-side codec spans for this
+	// shard. Encode overlaps the upload (the job streams as it encodes)
+	// and decode overlaps the worker's recording (digest records replay
+	// as they arrive), so these are spans, not additive costs.
+	EncodeNS int64 `json:"encode_ns,omitempty"`
+	DecodeNS int64 `json:"decode_ns,omitempty"`
 }
 
 // ClusterInfo describes how a distributed check (POST /cluster/check)
@@ -137,6 +150,18 @@ type ClusterInfo struct {
 	// recording after dispatch failures.
 	LocalFallbacks int   `json:"local_fallbacks,omitempty"`
 	MergeNS        int64 `json:"merge_ns"`
+	// Wire summarizes the codecs the check's remote shards negotiated:
+	// "binary", "json", or "mixed"; empty when every shard was local.
+	Wire string `json:"wire,omitempty"`
+	// WireBytesOut/WireBytesIn total the shards' bytes on the wire.
+	WireBytesOut int64 `json:"wire_bytes_out,omitempty"`
+	WireBytesIn  int64 `json:"wire_bytes_in,omitempty"`
+	// EncodeNS/DecodeNS sum the per-shard codec spans; ReplayNS is the
+	// merger's cumulative record-replay time. All three overlap network
+	// time (and each other, across concurrent shards).
+	EncodeNS int64 `json:"encode_ns,omitempty"`
+	DecodeNS int64 `json:"decode_ns,omitempty"`
+	ReplayNS int64 `json:"replay_ns,omitempty"`
 }
 
 // CycleEdge is one edge of a counterexample cycle, with node names
@@ -268,6 +293,11 @@ func (d *ReportDoc) Normalize() {
 	}
 	if d.Cluster != nil {
 		d.Cluster.MergeNS = 0
+		d.Cluster.EncodeNS, d.Cluster.DecodeNS, d.Cluster.ReplayNS = 0, 0, 0
+		for i := range d.Cluster.Shards {
+			d.Cluster.Shards[i].EncodeNS = 0
+			d.Cluster.Shards[i].DecodeNS = 0
+		}
 	}
 	if d.Final != nil {
 		d.Final.ElapsedNS = 0
